@@ -1,0 +1,102 @@
+"""E02 — Figure 2: Diffserv LAN interconnection through gateway G1.
+
+Sweeps the demanded LAN->ring premium rate across G1's guaranteed capacity
+and regenerates the admission/service table: demanded rate, admission
+verdict, deadline misses of everything admitted.
+
+Shape to hold: demand within G1's guaranteed capacity is admitted and never
+misses a deadline; demand beyond it is rejected at admission (not degraded).
+"""
+
+from repro.core import ServiceClass, WRTRingConfig, WRTRingNetwork
+from repro.gateway import DiffservLAN, Gateway, LanHost, LanPacket, StreamRequest
+from repro.sim import Engine
+
+from _harness import print_table
+
+N = 6
+HORIZON = 12_000
+
+
+def run_demand(fraction_of_capacity: float):
+    """One LAN->ring stream demanding the given fraction of G1's capacity."""
+    engine = Engine()
+    cfg = WRTRingConfig.homogeneous(range(N), l=2, k=2, rap_enabled=False)
+    net = WRTRingNetwork(engine, list(range(N)), cfg)
+    lan = DiffservLAN(engine, capacity=4)
+    lan.attach_host(LanHost(50))
+    gw = Gateway(net, sid=0, lan=lan)
+
+    capacity = gw._premium_capacity()
+    rate = capacity * fraction_of_capacity
+    grant = gw.request_stream(StreamRequest(
+        rate=rate, service=ServiceClass.PREMIUM, direction="lan_to_ring",
+        ring_endpoint=3, lan_endpoint=50))
+    if not grant.accepted:
+        return {"admitted": False, "met": 0, "missed": 0, "rate": rate}
+
+    net.start()
+    lan.start()
+    deadline_budget = 3 * net.sat_time_bound()
+    period = 1.0 / rate
+
+    def feed(t, state={"next": 10.0}):
+        while t >= state["next"]:
+            pkt = LanPacket(src=50, dst=0, service=ServiceClass.PREMIUM,
+                            created=state["next"])
+            gw.lan_ingress(pkt, ring_dst=3,
+                           deadline=state["next"] + deadline_budget)
+            state["next"] += period
+    net.add_tick_hook(feed)
+    engine.run(until=HORIZON)
+    d = net.metrics.deadlines
+    return {"admitted": True, "met": d.met, "missed": d.missed, "rate": rate}
+
+
+def test_e02_gateway_admission_sweep(benchmark):
+    fractions = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5]
+
+    def sweep():
+        return [run_demand(f) for f in fractions]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[f"{f:.2f}x", f"{r['rate']:.4f}",
+             "ADMITTED" if r["admitted"] else "REJECTED",
+             r["met"], r["missed"]]
+            for f, r in zip(fractions, results)]
+    print_table("E02 / Fig.2: LAN->ring premium stream vs G1 capacity",
+                ["demand", "rate(pkt/slot)", "verdict", "met", "missed"],
+                rows)
+
+    for f, r in zip(fractions, results):
+        if f <= 1.0:
+            assert r["admitted"], f"{f}x within capacity must be admitted"
+            assert r["missed"] == 0, f"{f}x admitted stream missed deadlines"
+            assert r["met"] > 0
+        else:
+            assert not r["admitted"], f"{f}x over capacity must be rejected"
+
+
+def test_e02_ring_to_lan_reservation(benchmark):
+    """The reverse handshake: G1 asks the Diffserv LAN for bandwidth."""
+    def run():
+        engine = Engine()
+        cfg = WRTRingConfig.homogeneous(range(N), l=2, k=2, rap_enabled=False)
+        net = WRTRingNetwork(engine, list(range(N)), cfg)
+        lan = DiffservLAN(engine, capacity=4, premium_share=0.5)
+        lan.attach_host(LanHost(51))
+        gw = Gateway(net, sid=0, lan=lan)
+        verdicts = []
+        for rate in (0.8, 0.8, 0.8):   # budget is 2.0: third must fail
+            g = gw.request_stream(StreamRequest(
+                rate=rate, service=ServiceClass.PREMIUM,
+                direction="ring_to_lan", ring_endpoint=2, lan_endpoint=51))
+            verdicts.append(g.accepted)
+        return verdicts
+
+    verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E02b: ring->LAN premium reservations against a 2.0 budget",
+                ["stream", "rate", "verdict"],
+                [[i + 1, 0.8, "ADMITTED" if v else "REJECTED"]
+                 for i, v in enumerate(verdicts)])
+    assert verdicts == [True, True, False]

@@ -1,0 +1,103 @@
+"""E03 — Figure 3 / Sec. 2.4.1: station insertion through the RAP.
+
+Sweeps the ring size and regenerates the join table: join latency (slots),
+attempts, and — the QoS promise — whether any real-time packet of the
+*existing* stations missed its deadline while the join was in progress.
+
+Shape to hold: joins succeed iff the requester reaches two consecutive ring
+stations; existing stations' deadline misses stay zero throughout; join
+latency grows with N (the requester must hear a full NEXT_FREE cycle, which
+takes ~N S_round rotations).
+"""
+
+import random
+
+import numpy as np
+
+from repro.core import (Packet, QuotaConfig, ServiceClass, WRTRingConfig,
+                        WRTRingNetwork)
+from repro.core.join import JoinOutcome, JoinRequester
+from repro.phy import ConnectivityGraph, SlottedChannel, ring_placement
+from repro.sim import Engine
+
+from _harness import print_table
+
+
+def join_scenario(n, reachable_two=True, horizon=25_000):
+    radius = 30.0
+    pos = ring_placement(n, radius=radius)
+    if reachable_two:
+        spot = (pos[1] + pos[2]) / 2 * 1.02
+    else:
+        centre = pos.mean(axis=0)
+        outward = pos[0] - centre
+        outward = outward / np.linalg.norm(outward)
+        spot = pos[0] + outward * (2 * radius * np.sin(np.pi / n) * 1.3) * 0.9
+    allpos = np.vstack([pos, spot.reshape(1, 2)])
+    graph = ConnectivityGraph(allpos, 2 * radius * np.sin(np.pi / n) * 1.35,
+                              node_ids=list(range(n)) + [100])
+    engine = Engine()
+    cfg = WRTRingConfig.homogeneous(range(n), l=2, k=1, rap_enabled=True,
+                                    t_ear=6, t_update=3)
+    net = WRTRingNetwork(engine, list(range(n)), cfg, graph=graph,
+                         channel=SlottedChannel(graph))
+    # existing stations run deadline-bound RT traffic throughout
+    deadline = 3 * net.sat_time_bound()
+
+    def top(t):
+        for sid in net.members:
+            if sid == 100:
+                continue
+            st = net.stations[sid]
+            while len(st.rt_queue) < 2:
+                st.enqueue(Packet(src=sid, dst=net.successor(sid),
+                                  service=ServiceClass.PREMIUM, created=t,
+                                  deadline=t + deadline), t)
+    net.add_tick_hook(top)
+    req = JoinRequester(net, 100, QuotaConfig.two_class(2, 1),
+                        rng=random.Random(n))
+    net.start()
+    engine.run(until=horizon)
+    return net, req
+
+
+def test_e03_join_latency_sweep(benchmark):
+    sizes = [4, 6, 8, 10]
+
+    def sweep():
+        return [join_scenario(n) for n in sizes]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for n, (net, req) in zip(sizes, results):
+        rows.append([n, str(req.state is JoinOutcome.JOINED),
+                     f"{req.join_latency:.0f}" if req.join_latency else "-",
+                     req.attempts, net.metrics.deadlines.missed])
+    print_table("E03 / Fig.3: join latency vs ring size "
+                "(requester hears two consecutive stations)",
+                ["N", "joined", "latency(slots)", "attempts",
+                 "existing-station deadline misses"],
+                rows)
+    latencies = []
+    for n, (net, req) in zip(sizes, results):
+        assert req.state is JoinOutcome.JOINED, f"join failed for N={n}"
+        assert net.metrics.deadlines.missed == 0, \
+            "a join violated an existing guarantee"
+        latencies.append(req.join_latency)
+    # latency grows with N (full NEXT_FREE cycle before requesting)
+    assert latencies[-1] > latencies[0]
+
+
+def test_e03_join_rejected_single_neighbour(benchmark):
+    """The Sec. 2.4.1 rejection case: only one station reachable."""
+    def run():
+        return join_scenario(6, reachable_two=False, horizon=12_000)
+
+    net, req = benchmark.pedantic(run, rounds=1, iterations=1)
+    heard = sorted(req.heard)
+    print_table("E03b: requester reaching a single station",
+                ["stations heard", "state", "joined"],
+                [[str(heard), req.state.value, 100 in net.members]])
+    assert len(heard) == 1
+    assert req.state is JoinOutcome.LISTENING
+    assert 100 not in net.members

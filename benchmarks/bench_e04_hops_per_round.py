@@ -1,0 +1,44 @@
+"""E04 — Figure 4 / Sec. 3.2.1: control-signal link crossings per round.
+
+Measures, on the live protocols, the number of link crossings the control
+signal needs to visit every station and return: the SAT over the ring
+(Fig. 4b) vs the token over the DFS tree tour (Fig. 4a), sweeping N.
+
+Shape to hold: measured ring hops = N, measured tree hops = 2(N-1), for
+every N; the idle round-trip times scale identically.
+"""
+
+from _harness import build_tpt, build_wrt, print_table, run
+
+
+def measure(n):
+    wrt = run(build_wrt(n, l=1, k=1), horizon=40 * n)
+    tpt = run(build_tpt(n, H=1), horizon=80 * n)
+    wrt_hops = wrt.rotation_log.hops_per_round()[1:]
+    tpt_hops = tpt.rotation_log.hops_per_round()[1:]
+    return (set(wrt_hops), set(tpt_hops),
+            wrt.rotation_log.all_samples()[-1],
+            tpt.rotation_log.all_samples()[-1])
+
+
+def test_e04_hops_per_round(benchmark):
+    sizes = [3, 5, 8, 12, 16]
+
+    def sweep():
+        return [measure(n) for n in sizes]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for n, (wrt_hops, tpt_hops, wrt_rt, tpt_rt) in zip(sizes, results):
+        rows.append([n, sorted(wrt_hops)[0], sorted(tpt_hops)[0],
+                     n, 2 * (n - 1), f"{wrt_rt:.0f}", f"{tpt_rt:.0f}"])
+    print_table("E04 / Fig.4: measured control-signal hops per round",
+                ["N", "SAT hops", "token hops", "paper: N", "paper: 2(N-1)",
+                 "SAT idle RT", "token idle RT"],
+                rows)
+    for n, (wrt_hops, tpt_hops, wrt_rt, tpt_rt) in zip(sizes, results):
+        assert wrt_hops == {n}
+        assert tpt_hops == {2 * (n - 1)}
+        assert wrt_rt == n
+        assert tpt_rt == 2 * (n - 1)
+        assert wrt_rt < tpt_rt

@@ -1,0 +1,76 @@
+"""E05 — Theorem 1 / Proposition 1: the SAT rotation-time bound.
+
+Saturates every station in both classes (the worst-case load) and sweeps
+(N, l, k), regenerating the bound-validation table: measured worst and mean
+rotation vs the closed form ``S + T_rap + 2·N·(l+k)``.
+
+Shape to hold: every measured rotation is strictly below the bound for
+every configuration, and the bound is not vacuous (worst case reaches a
+sizeable fraction of it under saturation).
+"""
+
+from repro.analysis import sat_rotation_bound_homogeneous
+
+from _harness import attach_saturation, build_wrt, print_table, run
+
+HORIZON = 5_000
+
+
+def measure(n, l, k, rap):
+    kwargs = {"rap_enabled": rap}
+    if rap:
+        kwargs.update(t_ear=6, t_update=3)
+    net = build_wrt(n, l, k, **kwargs)
+    attach_saturation(net, seed=n * 100 + l * 10 + k)
+    run(net, HORIZON)
+    samples = net.rotation_log.all_samples()
+    t_rap = net.config.effective_t_rap()
+    bound = sat_rotation_bound_homogeneous(n, l, k, T_rap=t_rap)
+    return max(samples), sum(samples) / len(samples), bound, len(samples)
+
+
+def test_e05_theorem1_sweep(benchmark):
+    configs = [(4, 1, 1, False), (6, 2, 1, False), (8, 2, 2, False),
+               (10, 3, 1, False), (12, 1, 3, False),
+               (6, 2, 1, True), (8, 2, 2, True)]
+
+    def sweep():
+        return [measure(*c) for c in configs]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for (n, l, k, rap), (worst, mean, bound, cnt) in zip(configs, results):
+        rows.append([n, l, k, "on" if rap else "off",
+                     f"{worst:.0f}", f"{mean:.1f}", f"{bound:.0f}",
+                     f"{worst / bound:.0%}", cnt])
+    print_table("E05 / Thm 1: saturated SAT rotation vs bound "
+                "S + T_rap + 2N(l+k)",
+                ["N", "l", "k", "RAP", "worst", "mean", "bound",
+                 "tightness", "samples"],
+                rows)
+    for (n, l, k, rap), (worst, mean, bound, cnt) in zip(configs, results):
+        assert worst < bound, f"Theorem 1 violated at N={n}, l={l}, k={k}"
+        assert cnt > 100
+        assert worst >= 0.25 * bound, "bound vacuous: load not adversarial?"
+
+
+def test_e05_bound_scales_with_quota(benchmark):
+    """Rotations grow with l+k while staying under their (also growing)
+    bound — the trade-off a bandwidth allocator navigates."""
+    def sweep():
+        out = []
+        for l in (1, 2, 4, 8):
+            net = build_wrt(6, l, 1)
+            attach_saturation(net, seed=l)
+            run(net, HORIZON)
+            out.append((l, net.rotation_log.worst(),
+                        sat_rotation_bound_homogeneous(6, l, 1)))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("E05b: rotation vs guaranteed quota l (N=6, k=1)",
+                ["l", "worst rotation", "bound"],
+                [[l, f"{w:.0f}", f"{b:.0f}"] for l, w, b in results])
+    worsts = [w for _, w, _ in results]
+    assert all(w < b for _, w, b in results)
+    assert worsts[-1] > worsts[0]   # more quota -> longer rounds

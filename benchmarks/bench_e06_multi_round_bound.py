@@ -1,0 +1,66 @@
+"""E06 — Theorem 2 / Proposition 2: the n-consecutive-rotation bound.
+
+Under saturation, slides windows of n consecutive rotations of one station
+and compares the worst window sum to ``n·S + n·T_rap + (n+1)·N·(l+k)``,
+sweeping n.
+
+Shape to hold: every window sum is within its bound for every n; the
+*per-round* slack shrinks as n grows (the (n+1)/n quota term amortizes —
+exactly the limit argument that yields Proposition 3).
+"""
+
+from repro.analysis import check_multi_round, sat_multi_round_bound_homogeneous
+
+from _harness import attach_saturation, build_wrt, print_table, run
+
+N, L, K = 6, 2, 1
+HORIZON = 12_000
+
+
+def test_e06_theorem2_windows(benchmark):
+    def measure():
+        net = build_wrt(N, L, K)
+        attach_saturation(net, seed=6)
+        run(net, HORIZON)
+        return net.rotation_log.samples(0)
+
+    samples = benchmark.pedantic(measure, rounds=1, iterations=1)
+    windows = [1, 2, 4, 8, 16, 32]
+    rows, checks = [], []
+    for n in windows:
+        bound = sat_multi_round_bound_homogeneous(n, N, L, K)
+        check = check_multi_round(samples, n, bound)
+        checks.append((n, check, bound))
+        rows.append([n, f"{check.worst:.0f}", f"{bound:.0f}",
+                     f"{check.worst / n:.1f}", f"{bound / n:.1f}",
+                     f"{check.tightness:.0%}"])
+    print_table(f"E06 / Thm 2: n-round windows under saturation "
+                f"(N={N}, l={L}, k={K}, station 0, {len(samples)} rotations)",
+                ["n", "worst window", "bound", "worst/round", "bound/round",
+                 "tightness"],
+                rows)
+    for n, check, bound in checks:
+        assert check.holds, f"Theorem 2 violated for n={n}"
+    # per-round bound slack decreases with n (amortization)
+    per_round_bounds = [b / n for n, _, b in checks]
+    assert per_round_bounds == sorted(per_round_bounds, reverse=True)
+
+
+def test_e06_every_station(benchmark):
+    def measure():
+        net = build_wrt(N, L, K)
+        attach_saturation(net, seed=7)
+        run(net, HORIZON)
+        return net
+
+    net = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    for sid in net.rotation_log.stations():
+        samples = net.rotation_log.samples(sid)
+        bound = sat_multi_round_bound_homogeneous(8, N, L, K)
+        check = check_multi_round(samples, 8, bound)
+        rows.append([sid, f"{check.worst:.0f}", f"{bound:.0f}",
+                     str(check.holds)])
+        assert check.holds
+    print_table("E06b: 8-round windows per station",
+                ["station", "worst", "bound", "holds"], rows)

@@ -1,0 +1,68 @@
+"""E09 — Equation 7 / Sec. 3.1.2: TPT's timed-token guarantees.
+
+Validates the comparator's own machinery: with a feasible allocation
+(Eq. 7) the token rotation stays below ``2·TTRT`` and the *average* rotation
+stays at or below TTRT, under saturation, sweeping the synchronous
+allocation fraction.
+
+Shape to hold: rotation <= 2·TTRT always; mean <= TTRT; a sync allocation
+violating Eq. 7 is reported infeasible by the closed form.
+"""
+
+from repro.analysis import tpt_allocation_feasible
+from repro.baselines import TimedTokenRules
+
+from _harness import attach_saturation, build_tpt, print_table, run
+
+N = 6
+HORIZON = 12_000
+
+
+def measure(H, margin):
+    net = build_tpt(N, H=H, margin=margin)
+    attach_saturation(net, seed=H)
+    run(net, HORIZON)
+    samples = net.rotation_log.all_samples()
+    return (max(samples), sum(samples) / len(samples), net.config.ttrt)
+
+
+def test_e09_rotation_bounds(benchmark):
+    configs = [(1, 2.0), (2, 1.5), (3, 1.3), (4, 1.1)]
+
+    def sweep():
+        return [measure(H, m) for H, m in configs]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for (H, m), (worst, mean, ttrt) in zip(configs, results):
+        rows.append([H, f"{ttrt:.0f}", f"{worst:.0f}", f"{2 * ttrt:.0f}",
+                     f"{mean:.1f}", f"{worst / (2 * ttrt):.0%}"])
+    print_table(f"E09 / Eq.7: TPT token rotation under saturation (N={N})",
+                ["H/station", "TTRT", "worst rotation", "2*TTRT", "mean",
+                 "tightness"],
+                rows)
+    for (H, m), (worst, mean, ttrt) in zip(configs, results):
+        assert worst <= 2 * ttrt, "timed-token 2*TTRT property violated"
+        assert mean <= ttrt + 1e-9, "timed-token average property violated"
+
+
+def test_e09_feasibility_frontier(benchmark):
+    """Eq. 7 as an admission rule: the allocation frontier."""
+    def sweep():
+        walk = 2 * (N - 1)
+        rows = []
+        for H in range(1, 8):
+            D = 2 * TimedTokenRules(
+                sum([H] * N) + walk).ttrt  # D = 2*TTRT_min for this H
+            feasible_tight = tpt_allocation_feasible([H] * N, N, D=D)
+            feasible_short = tpt_allocation_feasible([H] * N, N, D=D - 2)
+            rows.append((H, D, feasible_tight, feasible_short))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("E09b / Eq.7 feasibility: Σ H + 2(N-1) <= D/2",
+                ["H/station", "D=2*TTRT_min", "feasible at D",
+                 "feasible at D-2"],
+                [[h, f"{d:.0f}", str(a), str(b)] for h, d, a, b in rows])
+    for h, d, tight, short in rows:
+        assert tight and not short

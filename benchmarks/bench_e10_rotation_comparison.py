@@ -1,0 +1,94 @@
+"""E10 — Sec. 3.3: control-signal round-trip comparison, WRT-Ring vs TPT.
+
+The paper's like-for-like argument: same stations, same reserved bandwidth
+(Σ(l+k) = Σ H_e), same ``T_proc + T_prop`` per hop.  Regenerates both the
+closed-form series (``N·(T_proc+T_prop) + T_rap`` vs
+``2(N-1)·(T_proc+T_prop) + T_rap``) and the measured idle round trips,
+sweeping N and the per-hop cost.
+
+Shape to hold: the SAT round trip is strictly smaller for every N >= 3;
+the gap grows linearly with N; measurements match the closed forms exactly.
+"""
+
+from repro.analysis import sat_walk_time, tpt_token_walk_time
+
+from _harness import build_tpt, build_wrt, print_table, run
+
+
+def measure_idle(n, hop):
+    wrt = build_wrt(n, l=1, k=1, sat_hop_slots=hop)
+    run(wrt, 60 * n * hop)
+    tpt = build_tpt(n, H=1, hop_slots=hop)
+    run(tpt, 120 * n * hop)
+    return (wrt.rotation_log.all_samples()[-1],
+            tpt.rotation_log.all_samples()[-1])
+
+
+def test_e10_walk_time_vs_n(benchmark):
+    sizes = [3, 4, 6, 8, 12, 16]
+
+    def sweep():
+        return [measure_idle(n, hop=1) for n in sizes]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for n, (wrt_m, tpt_m) in zip(sizes, results):
+        wrt_f = sat_walk_time(n)
+        tpt_f = tpt_token_walk_time(n)
+        rows.append([n, f"{wrt_m:.0f}", f"{wrt_f:.0f}", f"{tpt_m:.0f}",
+                     f"{tpt_f:.0f}", f"{tpt_m - wrt_m:.0f}"])
+    print_table("E10 / Sec 3.3: idle control-signal round trip vs N "
+                "(T_proc+T_prop = 1)",
+                ["N", "SAT measured", "SAT closed-form", "token measured",
+                 "token closed-form", "gap"],
+                rows)
+    gaps = []
+    for n, (wrt_m, tpt_m) in zip(sizes, results):
+        assert wrt_m == sat_walk_time(n)
+        assert tpt_m == tpt_token_walk_time(n)
+        assert wrt_m < tpt_m
+        gaps.append(tpt_m - wrt_m)
+    # gap = N - 2: strictly increasing in N
+    assert gaps == [n - 2 for n in sizes]
+
+
+def test_e10_hop_cost_sweep(benchmark):
+    n = 8
+
+    def sweep():
+        return [(hop, *measure_idle(n, hop)) for hop in (1, 2, 4)]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[hop, f"{w:.0f}", f"{t:.0f}", f"{t / w:.2f}"]
+            for hop, w, t in results]
+    print_table(f"E10b: round trip vs per-hop cost (N={n})",
+                ["T_proc+T_prop", "SAT", "token", "ratio"],
+                rows)
+    for hop, w, t in results:
+        assert w == n * hop
+        assert t == 2 * (n - 1) * hop
+        # the ratio 2(N-1)/N is invariant in the hop cost
+        assert t / w == (2 * (n - 1)) / n
+
+
+def test_e10_loaded_round_trip(benchmark):
+    """With identical reserved bandwidth exercised at full rate, WRT-Ring's
+    mean round trip still beats TPT's (the Sec. 3.3 conclusion under load)."""
+    from _harness import attach_saturation
+    n, quota = 8, 3  # l+k = H = 3
+
+    def measure():
+        wrt = build_wrt(n, l=2, k=1)
+        attach_saturation(wrt, seed=1)
+        run(wrt, 10_000)
+        tpt = build_tpt(n, H=quota, margin=1.5)
+        attach_saturation(tpt, seed=1)
+        run(tpt, 10_000)
+        return wrt.rotation_log.mean(), tpt.rotation_log.mean()
+
+    wrt_mean, tpt_mean = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(f"E10c: mean round trip under saturation "
+                f"(N={n}, Σ(l+k)=ΣH={n * quota})",
+                ["protocol", "mean rotation"],
+                [["WRT-Ring", f"{wrt_mean:.1f}"], ["TPT", f"{tpt_mean:.1f}"]])
+    assert wrt_mean < tpt_mean

@@ -1,0 +1,88 @@
+"""E11 — Sec. 3.3: reaction to control-signal loss, WRT-Ring vs TPT.
+
+Like-for-like scenarios (equal reserved bandwidth, so the watchdogs are
+``SAT_TIME`` vs ``2·TTRT`` over the same load), two fault types, sweeping N:
+
+* pure signal loss (SAT/token corrupted in flight, every station alive);
+* silent station death.
+
+Regenerates the reaction table: watchdog value, detection delay, total
+repair delay, repair mechanism.
+
+Shape to hold: ``SAT_TIME < 2·TTRT`` for every N; WRT-Ring detects and
+repairs faster in both fault types; station death costs TPT a full tree
+rebuild where WRT-Ring cuts a single station out.
+"""
+
+from _harness import build_tpt, build_wrt, circle_graph, print_table, run
+
+
+def fault_pair(n, kill_station):
+    """Run the same fault on both protocols; return their recovery records."""
+    graph = circle_graph(n, margin=3.0)
+    wrt = build_wrt(n, l=2, k=1, graph=graph)
+    run(wrt, 100)
+    if kill_station:
+        wrt.kill_station(n // 2)
+    else:
+        wrt.drop_sat()
+    wrt.engine.run(until=20_000)
+    [wrec] = wrt.recovery.records
+
+    tpt = build_tpt(n, H=3, margin=1.5, graph=graph)
+    run(tpt, 100)
+    if kill_station:
+        tpt.kill_station(n // 2)
+    else:
+        tpt.drop_token()
+    tpt.engine.run(until=20_000)
+    [trec] = tpt.records
+    return wrt, wrec, tpt, trec
+
+
+def test_e11_signal_loss_sweep(benchmark):
+    sizes = [4, 6, 8, 12]
+
+    def sweep():
+        return [fault_pair(n, kill_station=False) for n in sizes]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for n, (wrt, wrec, tpt, trec) in zip(sizes, results):
+        rows.append([n, f"{wrt.sat_time_bound():.0f}",
+                     f"{2 * tpt.config.ttrt:.0f}",
+                     f"{wrec.total_delay:.0f}", f"{trec.total_delay:.0f}",
+                     wrec.outcome, trec.outcome])
+    print_table("E11 / Sec 3.3: reaction to pure control-signal loss",
+                ["N", "SAT_TIME", "2*TTRT", "WRT repair", "TPT repair",
+                 "WRT outcome", "TPT outcome"],
+                rows)
+    for n, (wrt, wrec, tpt, trec) in zip(sizes, results):
+        assert wrt.sat_time_bound() < 2 * tpt.config.ttrt
+        assert wrec.total_delay < trec.total_delay
+        assert trec.outcome == "token_reissued"   # tree survives a mere loss
+
+
+def test_e11_station_death_sweep(benchmark):
+    sizes = [4, 6, 8, 12]
+
+    def sweep():
+        return [fault_pair(n, kill_station=True) for n in sizes]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for n, (wrt, wrec, tpt, trec) in zip(sizes, results):
+        rows.append([n, f"{wrec.detection_delay:.0f}",
+                     f"{trec.detection_delay:.0f}",
+                     f"{wrec.total_delay:.0f}", f"{trec.total_delay:.0f}",
+                     wrec.outcome, trec.outcome])
+    print_table("E11b / Sec 3.3: reaction to silent station death",
+                ["N", "WRT detect", "TPT detect", "WRT total", "TPT total",
+                 "WRT outcome", "TPT outcome"],
+                rows)
+    for n, (wrt, wrec, tpt, trec) in zip(sizes, results):
+        assert wrec.total_delay < trec.total_delay
+        assert wrec.outcome == "cutout",  "WRT-Ring repairs by cut-out"
+        assert trec.outcome == "rebuild", "TPT must rebuild its tree"
+        # both networks survive and exclude the dead station
+        assert n // 2 not in wrt.members and n // 2 not in tpt.members

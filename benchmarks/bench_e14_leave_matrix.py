@@ -1,0 +1,104 @@
+"""E14 — Sec. 2.4.2 + 2.5: the departure/recovery matrix.
+
+All four departure scenarios the paper describes, on the same ring:
+
+1. graceful leave (announced; successor issues SAT_REC immediately);
+2. silent death, cut-out geometrically possible (pred reaches succ);
+3. silent death, cut-out impossible (tight ring -> ring re-formation);
+4. pure SAT loss (no death; the presumed-failed station is cut out).
+
+Regenerates the recovery matrix: detection delay, total repair time and
+outcome per scenario.
+
+Shape to hold: graceful < silent in total delay (no watchdog wait);
+recoverable geometry -> cut-out, unrecoverable -> rebuild/down; pure SAT
+loss recovers by (conservatively) cutting a live station.
+"""
+
+from _harness import build_wrt, circle_graph, print_table, run
+
+
+def scenario(kind):
+    margin = 1.05 if kind == "tight" else 3.0
+    n = 6
+    graph = circle_graph(n, margin=margin)
+    net = build_wrt(n, l=2, k=1, graph=graph)
+    run(net, 50)
+    if kind == "graceful":
+        net.leave_gracefully(3)
+    elif kind in ("silent", "tight"):
+        net.kill_station(3)
+    elif kind == "sat_loss":
+        net.drop_sat()
+    net.engine.run(until=30_000)
+    [rec] = net.recovery.records
+    return net, rec
+
+
+def test_e14_departure_matrix(benchmark):
+    kinds = ["graceful", "silent", "tight", "sat_loss"]
+
+    def sweep():
+        return {kind: scenario(kind) for kind in kinds}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    labels = {
+        "graceful": "announced leave",
+        "silent": "silent death (cut-out possible)",
+        "tight": "silent death (cut-out impossible)",
+        "sat_loss": "pure SAT loss",
+    }
+    rows = []
+    for kind in kinds:
+        net, rec = results[kind]
+        detect = rec.detection_delay
+        total = rec.total_delay
+        rows.append([labels[kind],
+                     f"{detect:.0f}" if detect is not None else "n/a",
+                     f"{total:.0f}" if total is not None else "n/a",
+                     rec.outcome,
+                     "down" if net.network_down else f"{net.n} stations"])
+    print_table("E14 / Sec 2.4.2 + 2.5: departure and recovery matrix (N=6)",
+                ["scenario", "detect(+slots)", "total(+slots)", "outcome",
+                 "network after"],
+                rows)
+
+    g_net, g_rec = results["graceful"]
+    s_net, s_rec = results["silent"]
+    t_net, t_rec = results["tight"]
+    l_net, l_rec = results["sat_loss"]
+
+    assert g_rec.outcome == "cutout" and 3 not in g_net.members
+    assert s_rec.outcome == "cutout" and 3 not in s_net.members
+    # graceful avoids the watchdog wait entirely
+    assert g_rec.detection_delay == 0
+    assert g_rec.total_delay < s_rec.total_delay
+    # tight geometry: the chord hop is out of range -> ring lost; with 5
+    # stations on a 6-gon at minimal range no new ring exists -> down
+    assert t_rec.outcome == "down" and t_net.network_down
+    # pure loss: conservative cut-out of a live station, ring of 5 survives
+    assert l_rec.outcome == "cutout" and l_net.n == 5 and not l_net.network_down
+
+
+def test_e14_rebuild_possible_with_dense_geometry(benchmark):
+    """Same double fault as the 'tight' case but with generous range: the
+    re-formation procedure rebuilds a working ring instead of going down."""
+    def measure():
+        n = 6
+        graph = circle_graph(n, margin=4.0)
+        net = build_wrt(n, l=2, k=1, graph=graph)
+        run(net, 50)
+        net.kill_station(3)
+        net.engine.run(until=55)
+        net.kill_station(4)   # kills the detector: SAT_REC dies too
+        net.engine.run(until=30_000)
+        return net
+
+    net = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table("E14b: double fault with dense geometry",
+                ["members after", "rebuilds", "down"],
+                [[str(net.members), net.recovery.ring_rebuilds,
+                  net.network_down]])
+    assert not net.network_down
+    assert net.recovery.ring_rebuilds >= 1
+    assert set(net.members) == {0, 1, 2, 5}

@@ -1,0 +1,106 @@
+"""E21 (extension) — the introduction's claim against contention MACs.
+
+"[The 802.11-style handshake] does not provide timing guarantees, as it
+suffers of collisions ... packet collision may occur frequently by
+increasing the number of mobile stations" (Sec. 1, re [3]).
+
+We measure it: a CoS CSMA/CA (RT gets a smaller contention window — the [3]
+flavour of priority) vs WRT-Ring, same stations, same saturated real-time
+load, sweeping N.
+
+Regenerated series: collision fraction, worst RT access delay and deadline
+misses (deadline = the WRT-Ring Theorem-3 bound for that N) per protocol.
+
+Shape to hold: CSMA collision fraction *grows with N* while WRT-Ring has
+zero collisions at every N; CSMA's worst RT access delay blows past the
+bound WRT-Ring provably honours, so CSMA misses deadlines that WRT-Ring
+never does — exactly the motivation the paper opens with.
+"""
+
+import random
+
+from repro.analysis import access_delay_bound
+from repro.baselines import CSMAConfig, CSMANetwork
+from repro.core import Packet, ServiceClass
+
+from _harness import build_wrt, print_table, run
+
+L, K = 2, 1
+HORIZON = 6_000
+BACKLOG = 4
+
+
+def saturate_rt(net, deadline_for, seed):
+    rng = random.Random(seed)
+
+    def top(t):
+        for sid in net.members:
+            st = net.stations[sid]
+            while st.queue_length(ServiceClass.PREMIUM) < BACKLOG:
+                dst = rng.choice([d for d in net.members if d != sid])
+                st.enqueue(Packet(src=sid, dst=dst,
+                                  service=ServiceClass.PREMIUM, created=t,
+                                  deadline=t + deadline_for), t)
+    net.add_tick_hook(top)
+
+
+def measure(n):
+    # the deadline both protocols are asked to honour: what WRT-Ring can
+    # *promise* for this backlog (Theorem 3) plus the worst ring path
+    bound = access_delay_bound(BACKLOG, L, n, 0, [(L, K)] * n) + n
+
+    wrt = build_wrt(n, L, K)
+    saturate_rt(wrt, bound, seed=n)
+    run(wrt, HORIZON)
+
+    from repro.sim import Engine
+    engine = Engine()
+    csma = CSMANetwork(engine, list(range(n)), config=CSMAConfig(),
+                       rng=random.Random(n))
+    saturate_rt(csma, bound, seed=n)
+    csma.start()
+    engine.run(until=HORIZON)
+
+    return {
+        "bound": bound,
+        "wrt_worst": wrt.metrics.access_delay[ServiceClass.PREMIUM].max,
+        "wrt_missed": wrt.metrics.deadlines.missed,
+        "csma_worst": csma.metrics.access_delay[ServiceClass.PREMIUM].max,
+        "csma_missed": csma.metrics.deadlines.missed,
+        "csma_collision_fraction": csma.collision_fraction,
+    }
+
+
+def test_e21_contention_vs_ring(benchmark):
+    sizes = [4, 8, 16, 32]
+
+    def sweep():
+        return [(n, measure(n)) for n in sizes]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for n, m in results:
+        rows.append([n, f"{m['csma_collision_fraction']:.0%}",
+                     f"{m['wrt_worst']:.0f}", f"{m['csma_worst']:.0f}",
+                     f"{m['bound']:.0f}",
+                     m["wrt_missed"], m["csma_missed"]])
+    print_table(f"E21 / Sec 1: CoS CSMA/CA vs WRT-Ring under saturated RT "
+                f"(deadline = Thm-3 bound + N)",
+                ["N", "CSMA collision frac", "WRT worst access",
+                 "CSMA worst access", "deadline", "WRT missed",
+                 "CSMA missed"],
+                rows)
+
+    fractions = [m["csma_collision_fraction"] for _, m in results]
+    # "collision may occur frequently by increasing the number of stations"
+    assert fractions[-1] > fractions[0]
+    assert fractions[-1] > 0.15
+    for n, m in results:
+        # WRT-Ring: the guarantee holds, always
+        assert m["wrt_worst"] <= m["bound"]
+        assert m["wrt_missed"] == 0
+    # CSMA: no guarantee — at the larger sizes it misses deadlines that
+    # WRT-Ring provably meets
+    assert any(m["csma_missed"] > 0 for _, m in results)
+    large = dict(results)[32]
+    assert large["csma_worst"] > large["bound"]

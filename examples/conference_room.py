@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Conference room: the paper's motivating dynamic scenario (Sec. 2.4).
+
+Attendees sit around a meeting room running a WRT-Ring over CDMA.  During
+the session:
+
+* a late attendant walks in and joins through the Random Access Period
+  (Sec. 2.4.1 / Fig. 3) — without disturbing anyone's guarantees;
+* one attendant announces departure (graceful leave, Sec. 2.4.2);
+* another's battery dies mid-session (silent failure -> SAT_TIMER detection
+  and SAT_REC cut-out, Sec. 2.5).
+
+The script prints a timeline of the events the protocol handles, and checks
+that the real-time service of the surviving stations never misses a beat.
+
+Run:  python examples/conference_room.py
+"""
+
+import random
+
+import numpy as np
+
+from repro.core import (QuotaConfig, ServiceClass, WRTRingConfig,
+                        WRTRingNetwork)
+from repro.core.join import JoinOutcome, JoinRequester
+from repro.phy import ConnectivityGraph, SlottedChannel, ring_placement
+from repro.sim import Engine, RandomStreams, TraceRecorder
+from repro.traffic import FlowSpec, Workload
+
+
+def main() -> None:
+    N = 8                      # attendees seated around the table
+    radius = 5.0               # metres
+    radio_range = 2 * radius * np.sin(np.pi / N) * 2.2
+
+    # the latecomer (id 99) waits near seats 2 and 3
+    seats = ring_placement(N, radius=radius)
+    latecomer_spot = (seats[2] + seats[3]) / 2 * 1.05
+    positions = np.vstack([seats, latecomer_spot])
+    graph = ConnectivityGraph(positions, radio_range,
+                              node_ids=list(range(N)) + [99])
+
+    engine = Engine()
+    trace = TraceRecorder()
+    trace.enable_only(["ring.insert", "ring.remove",
+                       "ring.leave_announced", "ring.kill", "sat.timeout",
+                       "sat.recovered", "sat.graceful_cutout"])
+    config = WRTRingConfig.homogeneous(range(N), l=2, k=1, rap_enabled=True,
+                                       t_ear=8, t_update=4)
+    channel = SlottedChannel(graph)
+    net = WRTRingNetwork(engine, list(range(N)), config, graph=graph,
+                         channel=channel, trace=trace)
+
+    # everyone shares a whiteboard stream with a neighbour (Premium)
+    workload = Workload(net, RandomStreams(7))
+    deadline = net.sat_time_bound() * 3
+    for sid in range(N):
+        workload.add_cbr(FlowSpec(src=sid, dst=(sid + 1) % N,
+                                  service=ServiceClass.PREMIUM,
+                                  deadline=deadline), period=40.0)
+
+    latecomer = JoinRequester(net, 99, QuotaConfig.two_class(2, 1),
+                              rng=random.Random(3))
+    net.start()
+
+    # timeline of room events
+    engine.run(until=2_000)         # latecomer joins somewhere in here
+    assert latecomer.state is JoinOutcome.JOINED, "latecomer failed to join"
+    print(f"[t={latecomer.t_joined:6.0f}] attendant 99 joined "
+          f"(latency {latecomer.join_latency:.0f} slots, "
+          f"{latecomer.attempts} attempt(s))")
+
+    engine.run(until=4_000)
+    net.leave_gracefully(5)
+    print(f"[t={engine.now:6.0f}] attendant 5 announces departure")
+    engine.run(until=6_000)
+
+    net.kill_station(1)
+    print(f"[t={engine.now:6.0f}] attendant 1's battery dies (silent)")
+    engine.run(until=10_000)
+
+    print()
+    print("protocol event log:")
+    for ev in trace:
+        detail = ", ".join(f"{k}={v}" for k, v in ev.fields.items())
+        print(f"  [t={ev.time:6.0f}] {ev.category:22s} {detail}")
+
+    print()
+    print(f"final ring: {net.members}")
+    for rec in net.recovery.records:
+        print(f"  recovery: {rec.kind:9s} station={rec.failed_station} "
+              f"detected(+{rec.detection_delay or 0:.0f}) "
+              f"repaired in {rec.total_delay:.0f} slots -> {rec.outcome}")
+
+    d = net.metrics.deadlines
+    undeliverable = net.metrics.orphaned + net.metrics.lost
+    print(f"deadlines met/missed: {d.met}/{d.missed} "
+          f"({undeliverable} packets were addressed to departed attendants "
+          f"and could never be delivered)")
+    assert 99 in net.members and 5 not in net.members and 1 not in net.members
+    assert not net.network_down
+    # every miss is a packet to/through a departed station, not a QoS breach
+    assert d.missed <= undeliverable
+    print("\nOK: the ring survived a join, a leave and a failure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Airport lounge: the limits of "low mobility", measured.
+
+The paper scopes WRT-Ring to "indoor scenarios in which terminals have low
+mobility and limited movement space (airport lounge, conference site,
+meeting room)".  This walkthrough uses the declarative scenario layer to ask:
+how much movement can the lounge tolerate?
+
+Travellers wander inside discs around their seats; ring links physically
+break when two neighbours drift out of radio range; the SAT-loss watchdogs,
+cut-outs and ring re-formation keep the network alive.  We sweep the wander
+radius and report recoveries, availability and goodput — the quantitative
+content of the paper's low-mobility caveat.
+
+Run:  python examples/mobile_lounge.py
+"""
+
+from repro.core import ServiceClass
+from repro.scenarios import MobilitySpec, Scenario, TrafficMix, run_scenario
+
+
+def main() -> None:
+    horizon = 6_000
+    print("lounge: 8 travellers seated in a circle (range margin 2.0),")
+    print(f"Premium Poisson traffic, {horizon} slots per configuration\n")
+
+    header = (f"{'wander(m)':>10s} {'recoveries':>11s} {'re-formations':>14s} "
+              f"{'network':>8s} {'goodput':>8s} {'worst rotation':>15s}")
+    print(header)
+    results = {}
+    for wander in (0.0, 2.0, 6.0, 10.0, 13.0, 18.0):
+        scn = Scenario(
+            n=8, range_margin=2.0,
+            mobility=(MobilitySpec(wander_radius=wander, speed=0.5)
+                      if wander > 0 else None),
+            traffic=TrafficMix(kind="poisson", rate=0.04,
+                               service=ServiceClass.PREMIUM),
+            horizon=horizon, seed=42)
+        summary = run_scenario(scn).summary()
+        results[wander] = summary
+        print(f"{wander:>10.1f} {summary['recoveries']:>11d} "
+              f"{summary['rebuilds']:>14d} "
+              f"{'down' if summary['network_down'] else 'up':>8s} "
+              f"{summary['goodput_per_slot']:>8.3f} "
+              f"{summary.get('worst_rotation', float('nan')):>15.0f}")
+
+    print()
+    calm = results[0.0]
+    stormy = max(results.values(), key=lambda s: s["recoveries"])
+    print(f"while seated (wander 0): {calm['recoveries']} recoveries, "
+          f"goodput {calm['goodput_per_slot']:.3f} pkt/slot")
+    print(f"at the worst sweep point: {stormy['recoveries']} recoveries and "
+          f"{stormy['rebuilds']} full ring re-formations — yet the network "
+          f"{'survived' if not stormy['network_down'] else 'went down'} and "
+          f"kept delivering {stormy['goodput_per_slot']:.3f} pkt/slot")
+
+    assert calm["recoveries"] == 0
+    assert all(s["bound_holds"] for s in results.values()
+               if "bound_holds" in s)
+    print("\nOK: Theorem 1 held in every configuration; the 'low mobility' "
+          "assumption buys\nzero-recovery operation, and beyond it the "
+          "protocol degrades by self-healing, not by collapsing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""WRT-Ring: a delay-bounded MAC protocol for wireless ad hoc networks.
+
+A from-scratch reproduction of
+
+    L. Donatiello and M. Furini,
+    "Ad Hoc Networks: A Protocol for Supporting QoS Applications",
+    Technical Report TR-INF-2003-01-01-UNIPMN (IPPS/WPDRTS 2003).
+
+Layout:
+
+- :mod:`repro.sim`       -- discrete-event kernel (engine, processes, timers);
+- :mod:`repro.phy`       -- wireless substrate (geometry, mobility, CDMA,
+  slotted collision channel, ring/tree construction);
+- :mod:`repro.core`      -- WRT-Ring itself (SAT, quotas, Diffserv classes,
+  join/leave, SAT-loss recovery, admission control);
+- :mod:`repro.baselines` -- TPT (timed token over a tree) and wired RT-Ring;
+- :mod:`repro.traffic`   -- flows and arrival-process generators;
+- :mod:`repro.analysis`  -- the paper's closed-form bounds, metrics and
+  measured-vs-bound validation;
+- :mod:`repro.bandwidth` -- FDDI-style quota (l_i) allocation schemes;
+- :mod:`repro.gateway`   -- Diffserv LAN interconnection (Fig. 2).
+
+Quickstart::
+
+    from repro.sim import Engine
+    from repro.core import WRTRingNetwork, WRTRingConfig
+
+    engine = Engine()
+    config = WRTRingConfig.homogeneous(range(8), l=2, k=1, rap_enabled=False)
+    net = WRTRingNetwork(engine, list(range(8)), config)
+    net.start()
+    engine.run(until=10_000)
+    assert net.rotation_log.worst() < net.sat_time_bound()   # Theorem 1
+"""
+
+from repro.core import (
+    Packet,
+    ServiceClass,
+    QuotaConfig,
+    WRTRingConfig,
+    WRTRingNetwork,
+)
+from repro.sim import Engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "Packet",
+    "ServiceClass",
+    "QuotaConfig",
+    "WRTRingConfig",
+    "WRTRingNetwork",
+    "__version__",
+]

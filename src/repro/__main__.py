@@ -1,0 +1,3 @@
+from repro.cli import main
+import sys
+sys.exit(main())

@@ -1,0 +1,59 @@
+"""Analysis layer: closed-form bounds, metrics, statistics and validation.
+
+- :mod:`repro.analysis.bounds` — every closed form in the paper
+  (Theorems 1-3, Propositions 1-3, the TPT Eq. 7 bound and the Sec. 3.3
+  signal-walk comparison terms);
+- :mod:`repro.analysis.metrics` — delay/throughput/deadline/rotation metric
+  collectors used by the simulators;
+- :mod:`repro.analysis.stats` — batch-means confidence intervals and summary
+  statistics;
+- :mod:`repro.analysis.validation` — measured-vs-bound verdicts used by the
+  experiment harness.
+"""
+
+from repro.analysis.bounds import (
+    sat_rotation_bound,
+    sat_rotation_bound_homogeneous,
+    sat_multi_round_bound,
+    sat_multi_round_bound_homogeneous,
+    mean_sat_rotation_bound,
+    access_delay_bound,
+    sat_walk_time,
+    tpt_token_walk_time,
+    tpt_allocation_feasible,
+    tpt_max_token_rotation,
+    recovery_detection_bounds,
+)
+from repro.analysis.metrics import (
+    DelaySeries,
+    ThroughputMeter,
+    DeadlineTracker,
+    jain_fairness,
+    flow_report,
+)
+from repro.analysis.stats import batch_means_ci, summarize
+from repro.analysis.validation import BoundCheck, check_rotation_samples, check_multi_round
+
+__all__ = [
+    "sat_rotation_bound",
+    "sat_rotation_bound_homogeneous",
+    "sat_multi_round_bound",
+    "sat_multi_round_bound_homogeneous",
+    "mean_sat_rotation_bound",
+    "access_delay_bound",
+    "sat_walk_time",
+    "tpt_token_walk_time",
+    "tpt_allocation_feasible",
+    "tpt_max_token_rotation",
+    "recovery_detection_bounds",
+    "DelaySeries",
+    "ThroughputMeter",
+    "DeadlineTracker",
+    "jain_fairness",
+    "flow_report",
+    "batch_means_ci",
+    "summarize",
+    "BoundCheck",
+    "check_rotation_samples",
+    "check_multi_round",
+]

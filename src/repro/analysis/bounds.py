@@ -1,0 +1,189 @@
+"""Closed-form bounds from the paper (Sec. 2.6 and Sec. 3).
+
+All quantities are in slot units, matching the paper's normalization.
+Symbols:
+
+- ``S``      — time for the SAT to cross the ring unimpeded (ring latency);
+               with one slot per hop this is the number of ring hops, i.e.
+               the number of stations ``N``;
+- ``T_rap``  — duration of one Random Access Period (``T_ear + T_update``);
+- ``quotas`` — per-station ``(l_j, k_j)`` pairs (or a
+               :class:`~repro.core.quotas.QuotaConfig`-like object with
+               ``.l`` and ``.k``);
+- ``TTRT``   — TPT's Target Token Rotation Time;
+- ``T_proc``, ``T_prop`` — per-link control-signal transmission + propagation
+               time (Sec. 3.3 treats their sum as the common unit).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "sat_rotation_bound",
+    "sat_rotation_bound_homogeneous",
+    "sat_multi_round_bound",
+    "sat_multi_round_bound_homogeneous",
+    "mean_sat_rotation_bound",
+    "access_delay_bound",
+    "sat_walk_time",
+    "tpt_token_walk_time",
+    "tpt_allocation_feasible",
+    "tpt_max_token_rotation",
+    "recovery_detection_bounds",
+]
+
+
+def _quota_sum(quotas: Iterable) -> int:
+    """Σ_j (l_j + k_j) accepting (l, k) tuples or objects with .l/.k."""
+    total = 0
+    for q in quotas:
+        if hasattr(q, "l") and hasattr(q, "k"):
+            total += q.l + q.k
+        else:
+            l, k = q
+            total += l + k
+    return total
+
+
+def _check_common(S: float, T_rap: float) -> None:
+    if S < 0:
+        raise ValueError(f"S must be >= 0, got {S!r}")
+    if T_rap < 0:
+        raise ValueError(f"T_rap must be >= 0, got {T_rap!r}")
+
+
+# ----------------------------------------------------------------------
+# WRT-Ring bounds
+# ----------------------------------------------------------------------
+def sat_rotation_bound(S: float, T_rap: float, quotas: Sequence) -> float:
+    """Theorem 1: strict upper bound on any SAT rotation time.
+
+    ``SAT_TIME_i < S + T_rap + 2 · Σ_j (l_j + k_j)`` for every station i.
+    The returned value is the right-hand side; measured rotations must be
+    strictly below it.
+    """
+    _check_common(S, T_rap)
+    return S + T_rap + 2.0 * _quota_sum(quotas)
+
+
+def sat_rotation_bound_homogeneous(N: int, l: int, k: int,
+                                   S: float | None = None,
+                                   T_rap: float = 0.0) -> float:
+    """Proposition 1: the Theorem-1 bound for identical stations:
+    ``S + T_rap + 2·N·(l+k)``.  ``S`` defaults to ``N`` (one slot per hop).
+    """
+    if N < 1:
+        raise ValueError(f"N must be >= 1, got {N}")
+    if S is None:
+        S = float(N)
+    _check_common(S, T_rap)
+    return S + T_rap + 2.0 * N * (l + k)
+
+
+def sat_multi_round_bound(n: int, S: float, T_rap: float, quotas: Sequence) -> float:
+    """Theorem 2: bound on the time of ``n`` consecutive SAT rotations:
+    ``SAT_TIME_i[n] <= n·S + n·T_rap + (n+1)·Σ_j (l_j + k_j)``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    _check_common(S, T_rap)
+    return n * S + n * T_rap + (n + 1) * _quota_sum(quotas)
+
+
+def sat_multi_round_bound_homogeneous(n: int, N: int, l: int, k: int,
+                                      S: float | None = None,
+                                      T_rap: float = 0.0) -> float:
+    """Proposition 2: ``n·S + n·T_rap + (n+1)·N·(l+k)``."""
+    if N < 1:
+        raise ValueError(f"N must be >= 1, got {N}")
+    if S is None:
+        S = float(N)
+    return sat_multi_round_bound(n, S, T_rap, [(l, k)] * N)
+
+
+def mean_sat_rotation_bound(S: float, T_rap: float, quotas: Sequence) -> float:
+    """Proposition 3: bound on the long-run average rotation time:
+    ``E[SAT_TIME] <= S + T_rap + Σ_j (l_j + k_j)``.
+    """
+    _check_common(S, T_rap)
+    return S + T_rap + float(_quota_sum(quotas))
+
+
+def access_delay_bound(x: int, l_i: int, S: float, T_rap: float,
+                       quotas: Sequence) -> float:
+    """Theorem 3: worst-case wait of a tagged real-time packet.
+
+    A tagged packet arriving at station ``i`` behind ``x`` queued real-time
+    packets waits at most ``SAT_TIME[⌈(x+1)/l_i⌉ + 1]`` (the Theorem-2 bound
+    with that round count).
+    """
+    if x < 0:
+        raise ValueError(f"queue backlog x must be >= 0, got {x}")
+    if l_i < 1:
+        raise ValueError(
+            f"station must have a real-time quota l_i >= 1, got {l_i}")
+    rounds = math.ceil((x + 1) / l_i) + 1
+    return sat_multi_round_bound(rounds, S, T_rap, quotas)
+
+
+# ----------------------------------------------------------------------
+# control-signal walk times (Sec. 3.3's traffic-free comparison)
+# ----------------------------------------------------------------------
+def sat_walk_time(N: int, T_proc_prop: float = 1.0, T_rap: float = 0.0) -> float:
+    """Traffic-free SAT round trip: ``N·(T_proc+T_prop) + T_rap`` (Sec. 3.3)."""
+    if N < 1:
+        raise ValueError(f"N must be >= 1, got {N}")
+    if T_proc_prop <= 0:
+        raise ValueError(f"T_proc+T_prop must be > 0, got {T_proc_prop!r}")
+    return N * T_proc_prop + T_rap
+
+
+def tpt_token_walk_time(N: int, T_proc_prop: float = 1.0, T_rap: float = 0.0) -> float:
+    """Traffic-free token round trip: ``2(N-1)·(T_proc+T_prop) + T_rap``."""
+    if N < 1:
+        raise ValueError(f"N must be >= 1, got {N}")
+    if T_proc_prop <= 0:
+        raise ValueError(f"T_proc+T_prop must be > 0, got {T_proc_prop!r}")
+    return 2 * (N - 1) * T_proc_prop + T_rap
+
+
+# ----------------------------------------------------------------------
+# TPT (timed-token) bounds
+# ----------------------------------------------------------------------
+def tpt_allocation_feasible(H: Sequence[float], N: int, D: float,
+                            T_proc_prop: float = 1.0,
+                            T_rap: float = 0.0) -> bool:
+    """Equation 7: can TPT guarantee access delay ``D``?
+
+    ``Σ H_e,i + 2(N-1)(T_proc+T_prop) + T_rap <= D/2``.
+    """
+    if len(H) != N:
+        raise ValueError(f"need one H per station: {len(H)} != {N}")
+    if any(h < 0 for h in H):
+        raise ValueError("synchronous allocations must be >= 0")
+    if D <= 0:
+        raise ValueError(f"D must be positive, got {D!r}")
+    lhs = sum(H) + 2 * (N - 1) * T_proc_prop + T_rap
+    return lhs <= D / 2.0
+
+
+def tpt_max_token_rotation(TTRT: float) -> float:
+    """Timed-token property the paper uses: token rotation <= 2·TTRT, and
+    the access-time guarantee is ``D = 2·TTRT``."""
+    if TTRT <= 0:
+        raise ValueError(f"TTRT must be positive, got {TTRT!r}")
+    return 2.0 * TTRT
+
+
+def recovery_detection_bounds(S: float, T_rap: float, quotas: Sequence,
+                              TTRT: float) -> Tuple[float, float]:
+    """Sec. 3.3 loss-reaction comparison.
+
+    Returns ``(wrt_detection, tpt_detection)``: each protocol arms its loss
+    watchdog with its maximum control-signal rotation time — ``SAT_TIME``
+    (Theorem 1) for WRT-Ring and ``2·TTRT`` for TPT.  In a like-for-like
+    scenario the paper observes ``SAT_TIME < 2·TTRT``.
+    """
+    return (sat_rotation_bound(S, T_rap, quotas), tpt_max_token_rotation(TTRT))

@@ -1,0 +1,195 @@
+"""Metric collectors used by the protocol simulators.
+
+Collectors store raw samples in plain lists (append is O(1) and allocation-
+light) and aggregate lazily with NumPy, per the hpc guideline of vectorizing
+the aggregation rather than the collection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["DelaySeries", "ThroughputMeter", "DeadlineTracker",
+           "jain_fairness", "flow_report"]
+
+
+class DelaySeries:
+    """A series of delay samples with percentile/maximum summaries."""
+
+    def __init__(self, name: str = "delay"):
+        self.name = name
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative delay sample {value!r} in {self.name!r}")
+        self.samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def empty(self) -> bool:
+        return not self.samples
+
+    def _arr(self) -> np.ndarray:
+        if not self.samples:
+            raise ValueError(f"no samples in {self.name!r}")
+        return np.asarray(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return float(self._arr().mean())
+
+    @property
+    def max(self) -> float:
+        return float(self._arr().max())
+
+    @property
+    def min(self) -> float:
+        return float(self._arr().min())
+
+    @property
+    def std(self) -> float:
+        return float(self._arr().std(ddof=1)) if len(self.samples) > 1 else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self._arr(), q))
+
+    def summary(self) -> Dict[str, float]:
+        a = self._arr()
+        p50, p95, p99 = np.percentile(a, [50, 95, 99])
+        return {
+            "count": float(len(a)),
+            "mean": float(a.mean()),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+            "max": float(a.max()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<DelaySeries {self.name!r} n={len(self.samples)}>"
+
+
+class ThroughputMeter:
+    """Counts delivered payload units over a measurement window."""
+
+    def __init__(self, name: str = "throughput"):
+        self.name = name
+        self.delivered = 0
+        self.window_start: Optional[float] = None
+        self.window_end: Optional[float] = None
+
+    def open_window(self, t: float) -> None:
+        self.window_start = t
+        self.window_end = None
+        self.delivered = 0
+
+    def close_window(self, t: float) -> None:
+        if self.window_start is None:
+            raise ValueError("close_window before open_window")
+        if t < self.window_start:
+            raise ValueError("window must close after it opens")
+        self.window_end = t
+
+    def count(self, units: int = 1) -> None:
+        self.delivered += units
+
+    @property
+    def rate(self) -> float:
+        """Delivered units per slot over the (closed) window."""
+        if self.window_start is None or self.window_end is None:
+            raise ValueError("window not closed")
+        span = self.window_end - self.window_start
+        if span <= 0:
+            raise ValueError("empty measurement window")
+        return self.delivered / span
+
+
+class DeadlineTracker:
+    """Counts deadline-constrained deliveries vs misses."""
+
+    def __init__(self) -> None:
+        self.met = 0
+        self.missed = 0
+        self.miss_lateness: List[float] = []
+
+    def observe(self, deliver_time: float, deadline: Optional[float]) -> None:
+        if deadline is None:
+            return
+        if deliver_time <= deadline:
+            self.met += 1
+        else:
+            self.missed += 1
+            self.miss_lateness.append(deliver_time - deadline)
+
+    def observe_drop(self, deadline: Optional[float]) -> None:
+        if deadline is None:
+            return
+        self.missed += 1
+
+    @property
+    def total(self) -> int:
+        return self.met + self.missed
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.total == 0:
+            raise ValueError("no deadline-constrained packets observed")
+        return self.missed / self.total
+
+
+def flow_report(sources) -> Dict[int, Dict[str, float]]:
+    """Per-flow delivery statistics from a collection of traffic sources.
+
+    Accepts any iterable of generator objects exposing ``flow`` and
+    ``packets`` (every :mod:`repro.traffic` source does).  Returns
+    ``{flow_id: {generated, delivered, dropped, mean_e2e, max_e2e,
+    deadline_misses}}`` — the table a per-stream SLA check reads.
+    """
+    out: Dict[int, Dict[str, float]] = {}
+    for source in sources:
+        packets = getattr(source, "packets", None)
+        flow = getattr(source, "flow", None)
+        if packets is None or flow is None:
+            continue
+        delivered = [p for p in packets if p.delivered]
+        e2e = [p.end_to_end_delay for p in delivered]
+        out[flow.flow_id] = {
+            "src": float(flow.src),
+            "dst": float(flow.dst),
+            "generated": float(len(packets)),
+            "delivered": float(len(delivered)),
+            "dropped": float(sum(1 for p in packets if p.dropped)),
+            "mean_e2e": float(np.mean(e2e)) if e2e else float("nan"),
+            "max_e2e": float(np.max(e2e)) if e2e else float("nan"),
+            "deadline_misses": float(sum(1 for p in packets
+                                         if p.missed_deadline)),
+        }
+    return out
+
+
+def jain_fairness(xs: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` in (0, 1]; 1 = equal shares.
+
+    Used to verify Sec. 2.2's claim that the SAT mechanism "ensures fairness
+    among the stations".
+    """
+    a = np.asarray(list(xs), dtype=float)
+    if a.size == 0:
+        raise ValueError("need at least one share")
+    if (a < 0).any():
+        raise ValueError("shares must be non-negative")
+    denom = a.size * float((a * a).sum())
+    if denom == 0:
+        raise ValueError("all shares are zero")
+    s = float(a.sum())
+    return s * s / denom

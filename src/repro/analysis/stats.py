@@ -1,0 +1,89 @@
+"""Output analysis: batch-means confidence intervals and summaries.
+
+Steady-state simulation outputs are autocorrelated (rotation times of
+successive SAT rounds, successive packet delays), so naive sample-variance
+confidence intervals are too narrow.  The classic remedy is the method of
+batch means: split the (post-warm-up) series into ``b`` contiguous batches,
+average each, and treat batch means as approximately i.i.d. normal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["batch_means_ci", "summarize", "ConfidenceInterval"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    mean: float
+    half_width: float
+    confidence: float
+    batches: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.4g} ± {self.half_width:.3g} "
+                f"({self.confidence:.0%}, {self.batches} batches)")
+
+
+def batch_means_ci(samples: Sequence[float], batches: int = 20,
+                   confidence: float = 0.95,
+                   warmup_fraction: float = 0.0) -> ConfidenceInterval:
+    """Batch-means confidence interval for the steady-state mean.
+
+    ``warmup_fraction`` of the series is discarded first (transient removal).
+    Requires at least 2 samples per batch after warm-up.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0,1), got {confidence!r}")
+    if not 0 <= warmup_fraction < 1:
+        raise ValueError(f"warmup_fraction must be in [0,1), got {warmup_fraction!r}")
+    if batches < 2:
+        raise ValueError(f"need at least 2 batches, got {batches}")
+    a = np.asarray(list(samples), dtype=float)
+    a = a[int(len(a) * warmup_fraction):]
+    if len(a) < 2 * batches:
+        raise ValueError(
+            f"need >= {2 * batches} post-warmup samples for {batches} batches, "
+            f"got {len(a)}")
+    usable = (len(a) // batches) * batches
+    means = a[:usable].reshape(batches, -1).mean(axis=1)
+    grand = float(means.mean())
+    se = float(means.std(ddof=1)) / math.sqrt(batches)
+    t = float(sps.t.ppf(0.5 + confidence / 2.0, df=batches - 1))
+    return ConfidenceInterval(mean=grand, half_width=t * se,
+                              confidence=confidence, batches=batches)
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Plain descriptive summary of a sample series."""
+    a = np.asarray(list(samples), dtype=float)
+    if a.size == 0:
+        raise ValueError("no samples")
+    p50, p95, p99 = np.percentile(a, [50, 95, 99])
+    return {
+        "count": float(a.size),
+        "mean": float(a.mean()),
+        "std": float(a.std(ddof=1)) if a.size > 1 else 0.0,
+        "min": float(a.min()),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "max": float(a.max()),
+    }

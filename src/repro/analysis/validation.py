@@ -1,0 +1,75 @@
+"""Measured-vs-bound verdicts for the experiment harness.
+
+Each helper compares a measured sample series against the corresponding
+paper bound and returns a :class:`BoundCheck` with the verdict, the margin,
+and a *tightness* ratio (measured worst case / bound) — the harness prints
+these as the per-experiment rows of ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["BoundCheck", "check_rotation_samples", "check_multi_round"]
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """Outcome of comparing measurements to a bound."""
+
+    name: str
+    bound: float
+    worst: float
+    mean: float
+    samples: int
+    strict: bool  # True if bound is strict ('<'), False for '<='
+
+    @property
+    def holds(self) -> bool:
+        return self.worst < self.bound if self.strict else self.worst <= self.bound
+
+    @property
+    def tightness(self) -> float:
+        """measured worst / bound; close to 1 means the bound is tight."""
+        return self.worst / self.bound if self.bound > 0 else float("nan")
+
+    def __str__(self) -> str:
+        op = "<" if self.strict else "<="
+        flag = "OK " if self.holds else "VIOLATED"
+        return (f"[{flag}] {self.name}: worst={self.worst:.3f} {op} "
+                f"bound={self.bound:.3f} (tightness={self.tightness:.2%}, "
+                f"mean={self.mean:.3f}, n={self.samples})")
+
+
+def check_rotation_samples(samples: Sequence[float], bound: float,
+                           name: str = "SAT rotation (Thm 1)",
+                           strict: bool = True) -> BoundCheck:
+    """Check every rotation sample against the Theorem-1 bound."""
+    a = np.asarray(list(samples), dtype=float)
+    if a.size == 0:
+        raise ValueError("no rotation samples to check")
+    return BoundCheck(name=name, bound=float(bound), worst=float(a.max()),
+                      mean=float(a.mean()), samples=int(a.size), strict=strict)
+
+
+def check_multi_round(samples: Sequence[float], n: int, bound: float,
+                      name: str | None = None) -> BoundCheck:
+    """Check n-round window sums (Theorem 2) against their bound.
+
+    ``samples`` are consecutive single-rotation times *of one station*;
+    windows are every run of ``n`` consecutive rotations (sliding).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    a = np.asarray(list(samples), dtype=float)
+    if a.size < n:
+        raise ValueError(f"need at least {n} rotation samples, got {a.size}")
+    kernel = np.ones(n)
+    windows = np.convolve(a, kernel, mode="valid")
+    return BoundCheck(
+        name=name or f"{n}-round SAT time (Thm 2)",
+        bound=float(bound), worst=float(windows.max()),
+        mean=float(windows.mean()), samples=int(windows.size), strict=False)

@@ -1,0 +1,41 @@
+"""Real-time bandwidth (quota) allocation schemes.
+
+The paper explicitly leaves allocation out of scope — "by exploiting the
+WRT-Ring properties it is possible to apply to WRT-Ring the algorithms
+developed for FDDI" (footnote 1, refs [16, 17]).  This subpackage is that
+adaptation: given per-station real-time demand and deadlines, choose the
+``l_i`` quotas so the Theorem-3 access-delay bound meets every deadline.
+
+Schemes (mirroring the synchronous-bandwidth-allocation literature):
+
+- ``full_length``   — everyone gets the same fixed ``l`` (the naive scheme);
+- ``proportional``  — ``l_i`` proportional to the station's RT rate;
+- ``normalized_proportional`` — proportional, normalized so the Prop. 3 mean
+  rotation meets the tightest deadline (Agrawal-Chen-Zhao style);
+- ``local``         — per-station fixed point: the smallest ``l_i`` whose
+  Theorem-3 bound meets that station's own deadline (Zhang-Burns style).
+"""
+
+from repro.bandwidth.allocation import (
+    AllocationProblem,
+    AllocationResult,
+    StationDemand,
+    allocate,
+    equal_allocation,
+    proportional_allocation,
+    normalized_proportional_allocation,
+    local_allocation,
+    validate_allocation,
+)
+
+__all__ = [
+    "AllocationProblem",
+    "AllocationResult",
+    "StationDemand",
+    "allocate",
+    "equal_allocation",
+    "proportional_allocation",
+    "normalized_proportional_allocation",
+    "local_allocation",
+    "validate_allocation",
+]

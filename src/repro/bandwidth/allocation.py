@@ -1,0 +1,287 @@
+"""Quota allocation: choosing the ``l_i`` so deadlines hold.
+
+Two constraints govern a real-time station (both direct consequences of
+Sec. 2.6):
+
+* **throughput** — over a SAT round of worst-case mean length
+  ``M = S + T_rap + Σ(l_j + k_j)`` (Prop. 3) the station may send ``l_i``
+  packets, so sustaining an RT rate ``r_i`` needs ``l_i >= r_i · M``
+  (the analogue of FDDI's ``H_i >= rate · TTRT``);
+* **deadline** — a packet arriving behind ``x_i`` queued RT packets waits at
+  most the Theorem-3 bound, which must stay ≤ the station's deadline
+  ``D_i``.
+
+Increasing ``l_i`` helps station ``i``'s own backlog drain faster but
+inflates every ``Σ(l+k)`` term and therefore *everyone's* bounds — the same
+tension the FDDI synchronous-bandwidth-allocation literature [16, 17]
+resolves, adapted here to the WRT-Ring bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.bounds import access_delay_bound, mean_sat_rotation_bound
+
+__all__ = [
+    "StationDemand",
+    "AllocationProblem",
+    "AllocationResult",
+    "equal_allocation",
+    "proportional_allocation",
+    "normalized_proportional_allocation",
+    "local_allocation",
+    "allocate",
+    "validate_allocation",
+]
+
+
+@dataclass(frozen=True)
+class StationDemand:
+    """One station's real-time demand and its fixed non-RT quota."""
+
+    sid: int
+    rt_rate: float                 # packets/slot
+    deadline: Optional[float] = None   # access-delay deadline, slots
+    max_backlog: int = 0           # x in Theorem 3
+    k: int = 0                     # the station's (fixed) non-RT quota
+
+    def __post_init__(self) -> None:
+        if self.rt_rate < 0:
+            raise ValueError(f"rt_rate must be >= 0, got {self.rt_rate!r}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline!r}")
+        if self.max_backlog < 0:
+            raise ValueError(f"max_backlog must be >= 0, got {self.max_backlog}")
+        if self.k < 0:
+            raise ValueError(f"k must be >= 0, got {self.k}")
+
+
+@dataclass(frozen=True)
+class AllocationProblem:
+    demands: Sequence[StationDemand]
+    sat_hop_slots: int = 1
+    t_rap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.demands:
+            raise ValueError("need at least one station")
+        sids = [d.sid for d in self.demands]
+        if len(set(sids)) != len(sids):
+            raise ValueError("duplicate station ids in demands")
+        if self.sat_hop_slots < 1:
+            raise ValueError(f"sat_hop_slots must be >= 1, got {self.sat_hop_slots}")
+        if self.t_rap < 0:
+            raise ValueError(f"t_rap must be >= 0, got {self.t_rap!r}")
+
+    @property
+    def S(self) -> float:
+        return len(self.demands) * self.sat_hop_slots
+
+    @property
+    def total_rate(self) -> float:
+        return sum(d.rt_rate for d in self.demands)
+
+    @property
+    def total_k(self) -> int:
+        return sum(d.k for d in self.demands)
+
+
+@dataclass
+class AllocationResult:
+    scheme: str
+    l: Dict[int, int]
+    feasible: bool
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def total_l(self) -> int:
+        return sum(self.l.values())
+
+
+# ----------------------------------------------------------------------
+def _quota_pairs(problem: AllocationProblem, l_map: Dict[int, int]) -> list:
+    return [(l_map[d.sid], d.k) for d in problem.demands]
+
+
+def validate_allocation(problem: AllocationProblem,
+                        l_map: Dict[int, int], scheme: str = "custom"
+                        ) -> AllocationResult:
+    """Check throughput + Theorem-3 deadline constraints for ``l_map``."""
+    missing = [d.sid for d in problem.demands if d.sid not in l_map]
+    if missing:
+        raise ValueError(f"allocation missing stations {missing}")
+    violations: List[str] = []
+    quotas = _quota_pairs(problem, l_map)
+    mean_round = mean_sat_rotation_bound(problem.S, problem.t_rap, quotas)
+    for d in problem.demands:
+        l_i = l_map[d.sid]
+        if l_i < 0:
+            violations.append(f"station {d.sid}: negative quota")
+            continue
+        if d.rt_rate > 0 and l_i == 0:
+            violations.append(f"station {d.sid}: demand but l=0")
+            continue
+        if d.rt_rate > 0 and l_i < d.rt_rate * mean_round - 1e-9:
+            violations.append(
+                f"station {d.sid}: throughput l={l_i} < rate*round="
+                f"{d.rt_rate * mean_round:.2f}")
+        if d.deadline is not None and l_i >= 1:
+            worst = access_delay_bound(d.max_backlog, l_i, problem.S,
+                                       problem.t_rap, quotas)
+            if worst > d.deadline:
+                violations.append(
+                    f"station {d.sid}: deadline {d.deadline:.0f} < "
+                    f"worst-case wait {worst:.0f}")
+        elif d.deadline is not None and l_i == 0:
+            violations.append(f"station {d.sid}: deadline but l=0")
+    return AllocationResult(scheme=scheme, l=dict(l_map),
+                            feasible=not violations, violations=violations)
+
+
+# ----------------------------------------------------------------------
+# schemes
+# ----------------------------------------------------------------------
+def equal_allocation(problem: AllocationProblem, l: int = 1) -> AllocationResult:
+    """Everyone gets the same ``l`` (the naive full-length scheme)."""
+    if l < 0:
+        raise ValueError(f"l must be >= 0, got {l}")
+    l_map = {d.sid: l for d in problem.demands}
+    return validate_allocation(problem, l_map, scheme="equal")
+
+
+def proportional_allocation(problem: AllocationProblem) -> AllocationResult:
+    """``l_i ∝ rate_i``, scaled to satisfy the throughput fixed point.
+
+    With ``l_i = c·r_i`` the Prop. 3 round is
+    ``M = S + T_rap + Σk + c·Σr`` and throughput requires ``c·r_i >= r_i·M``,
+    i.e. ``c >= (S + T_rap + Σk) / (1 - Σr)`` — possible only when the total
+    RT demand ``Σr < 1`` packet/slot of SAT-round budget.
+    """
+    total_rate = problem.total_rate
+    if total_rate >= 1.0:
+        l_map = {d.sid: max(1, math.ceil(d.rt_rate * 10)) for d in problem.demands}
+        result = validate_allocation(problem, l_map, scheme="proportional")
+        result.feasible = False
+        result.violations.insert(0, f"total RT demand {total_rate:.3f} >= 1")
+        return result
+    base = problem.S + problem.t_rap + problem.total_k
+    c = base / (1.0 - total_rate)
+    l_map = {}
+    for d in problem.demands:
+        if d.rt_rate == 0:
+            l_map[d.sid] = 0
+        else:
+            l_map[d.sid] = max(1, math.ceil(d.rt_rate * c))
+    # one fixed-point correction pass: ceil() grew Σl, so recheck rates
+    for _ in range(20):
+        mean_round = mean_sat_rotation_bound(
+            problem.S, problem.t_rap, _quota_pairs(problem, l_map))
+        changed = False
+        for d in problem.demands:
+            need = math.ceil(d.rt_rate * mean_round) if d.rt_rate > 0 else 0
+            if need > l_map[d.sid]:
+                l_map[d.sid] = need
+                changed = True
+        if not changed:
+            break
+    return validate_allocation(problem, l_map, scheme="proportional")
+
+
+def normalized_proportional_allocation(problem: AllocationProblem
+                                       ) -> AllocationResult:
+    """Proportional split of the *deadline-budgeted* quota pool.
+
+    The binding Theorem-3 case for a station whose backlog never exceeds
+    ``l_i - 1`` is 2 rounds: ``2S + 2T_rap + 3Σ(l+k) <= D_min`` gives the
+    total pool ``Σl <= (D_min - 2S - 2T_rap)/3 - Σk``, split in proportion
+    to the rates (the Agrawal-Chen-Zhao normalized scheme transplanted from
+    TTRT to SAT rounds).  Stations without deadlines only add their rates.
+    """
+    deadlines = [d.deadline for d in problem.demands if d.deadline is not None]
+    if not deadlines:
+        base = proportional_allocation(problem)
+        return AllocationResult(scheme="normalized_proportional", l=base.l,
+                                feasible=base.feasible,
+                                violations=base.violations)
+    d_min = min(deadlines)
+    pool = (d_min - 2 * problem.S - 2 * problem.t_rap) / 3.0 - problem.total_k
+    total_rate = problem.total_rate
+    l_map: Dict[int, int] = {}
+    for d in problem.demands:
+        if d.rt_rate == 0:
+            l_map[d.sid] = 0
+        elif pool <= 0 or total_rate == 0:
+            l_map[d.sid] = 1
+        else:
+            share = pool * d.rt_rate / total_rate
+            l_map[d.sid] = max(1, int(share))
+    return validate_allocation(problem, l_map, scheme="normalized_proportional")
+
+
+def local_allocation(problem: AllocationProblem,
+                     max_iterations: int = 50,
+                     l_cap: int = 10_000) -> AllocationResult:
+    """Per-station fixed point: grow each ``l_i`` to the smallest value
+    meeting its own throughput and deadline constraints given the others
+    (Zhang-Burns-style local scheme).  Converges or reports infeasible."""
+    l_map: Dict[int, int] = {
+        d.sid: (1 if (d.rt_rate > 0 or d.deadline is not None) else 0)
+        for d in problem.demands}
+    for _ in range(max_iterations):
+        changed = False
+        quotas = _quota_pairs(problem, l_map)
+        mean_round = mean_sat_rotation_bound(problem.S, problem.t_rap, quotas)
+        for d in problem.demands:
+            l_i = l_map[d.sid]
+            need = l_i
+            if d.rt_rate > 0:
+                need = max(need, math.ceil(d.rt_rate * mean_round))
+            if d.deadline is not None:
+                while need <= l_cap:
+                    trial = dict(l_map)
+                    trial[d.sid] = need
+                    worst = access_delay_bound(
+                        d.max_backlog, max(need, 1), problem.S,
+                        problem.t_rap, _quota_pairs(problem, trial))
+                    if worst <= d.deadline:
+                        break
+                    need += 1
+            if need > l_cap:
+                result = validate_allocation(problem, l_map, scheme="local")
+                result.feasible = False
+                result.violations.insert(
+                    0, f"station {d.sid}: no l <= {l_cap} meets its deadline")
+                return result
+            if need != l_i:
+                l_map[d.sid] = need
+                changed = True
+        if not changed:
+            return validate_allocation(problem, l_map, scheme="local")
+    result = validate_allocation(problem, l_map, scheme="local")
+    if result.feasible:
+        return result
+    result.violations.insert(0, "fixed point did not converge")
+    result.feasible = False
+    return result
+
+
+_SCHEMES = {
+    "equal": equal_allocation,
+    "proportional": proportional_allocation,
+    "normalized_proportional": normalized_proportional_allocation,
+    "local": local_allocation,
+}
+
+
+def allocate(problem: AllocationProblem, scheme: str = "local",
+             **kwargs) -> AllocationResult:
+    """Dispatch to a named allocation scheme."""
+    try:
+        fn = _SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(f"unknown scheme {scheme!r}; known: {sorted(_SCHEMES)}") \
+            from None
+    return fn(problem, **kwargs)

@@ -1,0 +1,30 @@
+"""Baseline protocols the paper compares against.
+
+- :mod:`repro.baselines.tpt` — the Token Passing Tree protocol [11]: a
+  timed-token MAC over a spanning tree, the paper's direct comparator
+  (Sec. 3);
+- :mod:`repro.baselines.timed_token` — the timed-token rules (TTRT,
+  synchronous allocations, early-token async credit) TPT inherits from [12];
+- :mod:`repro.baselines.rtring` — wired RT-Ring [13], the protocol WRT-Ring
+  is derived from, as the no-wireless-overhead reference;
+- :mod:`repro.baselines.csma` — a class-of-service CSMA/CA (the [3]-style
+  contention MAC the introduction dismisses), for measuring the
+  "collisions occur frequently as stations increase" claim.
+"""
+
+from repro.baselines.timed_token import TimedTokenRules, choose_ttrt
+from repro.baselines.tpt import TPTNetwork, TPTConfig, TPTStation
+from repro.baselines.rtring import RTRingNetwork
+from repro.baselines.csma import CSMANetwork, CSMAConfig, CSMAStation
+
+__all__ = [
+    "TimedTokenRules",
+    "choose_ttrt",
+    "TPTNetwork",
+    "TPTConfig",
+    "TPTStation",
+    "RTRingNetwork",
+    "CSMANetwork",
+    "CSMAConfig",
+    "CSMAStation",
+]

@@ -1,0 +1,49 @@
+"""Wired RT-Ring [13] — the protocol WRT-Ring is derived from.
+
+The wired original differs from WRT-Ring only in what the wireless
+environment forces on the latter: no Random Access Period (wired stations
+don't wander in), no radio-range constraints (the ring is a cable — the
+``SAT_REC`` cut-out hop always succeeds) and no CDMA (a wire per hop gives
+the same collision-free concurrency).
+
+:class:`RTRingNetwork` therefore reuses the WRT-Ring engine with those
+features pinned off; it exists so experiments can isolate the wireless
+deltas (T_rap in the bounds, join/recovery dynamics) from the shared
+SAT/quota machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import WRTRingConfig
+from repro.core.quotas import QuotaConfig
+from repro.core.ring import WRTRingNetwork
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["RTRingNetwork"]
+
+
+class RTRingNetwork(WRTRingNetwork):
+    """RT-Ring: WRT-Ring with every wireless mechanism disabled."""
+
+    def __init__(self, engine: Engine, ring_order: List[int],
+                 quotas: Dict[int, QuotaConfig],
+                 sat_hop_slots: int = 1,
+                 trace: Optional[TraceRecorder] = None):
+        config = WRTRingConfig(
+            quotas=dict(quotas),
+            rap_enabled=False,          # no stations ever join a wired ring
+            sat_hop_slots=sat_hop_slots,
+            validate_phy=False,
+        )
+        super().__init__(engine, ring_order, config,
+                         graph=None,            # a wire: everyone "reachable"
+                         channel=None,
+                         trace=trace)
+
+    # wired networks cannot gain members
+    def insert_station(self, *args, **kwargs):  # noqa: D102
+        raise NotImplementedError("RT-Ring is wired: membership is fixed at "
+                                  "installation time (use WRTRingNetwork)")

@@ -1,0 +1,73 @@
+"""The timed-token medium-access rules (Malcolm & Zhao [12]).
+
+TPT "is based on the timed token MAC protocol and its network access bound
+is straightly derived from the bound of the timed-token protocol"
+(Sec. 3.1).  These are the classic rules:
+
+* at start-up the stations agree on a **Target Token Rotation Time**
+  (``TTRT``); the protocol guarantees the *average* rotation equals ``TTRT``
+  and any single rotation is below ``2·TTRT``;
+* station ``i`` holds a **synchronous allocation** ``H_i``: on every token
+  visit it may transmit real-time traffic for up to ``H_i`` slots,
+  unconditionally;
+* asynchronous (best-effort) traffic may be sent only when the token arrives
+  *early*: the station measures the time ``TRT`` since the token's previous
+  arrival and gets ``max(0, TTRT - TRT)`` slots of async credit;
+* feasibility (the protocol constraint): ``Σ H_i + walk_time <= TTRT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["TimedTokenRules", "choose_ttrt"]
+
+
+@dataclass(frozen=True)
+class TimedTokenRules:
+    """TTRT plus per-visit budget computation."""
+
+    ttrt: float
+
+    def __post_init__(self) -> None:
+        if self.ttrt <= 0:
+            raise ValueError(f"TTRT must be positive, got {self.ttrt!r}")
+
+    def sync_budget(self, H_i: float) -> float:
+        """Synchronous budget: always the full allocation."""
+        if H_i < 0:
+            raise ValueError(f"H_i must be >= 0, got {H_i!r}")
+        return H_i
+
+    def async_budget(self, trt: float) -> float:
+        """Async credit for a token that arrives with measured rotation
+        ``trt``: positive only when the token is early."""
+        if trt < 0:
+            raise ValueError(f"TRT must be >= 0, got {trt!r}")
+        return max(0.0, self.ttrt - trt)
+
+    def feasible(self, H: Sequence[float], walk_time: float) -> bool:
+        """Protocol constraint: ``Σ H_i + walk <= TTRT``."""
+        if walk_time < 0:
+            raise ValueError(f"walk_time must be >= 0, got {walk_time!r}")
+        return sum(H) + walk_time <= self.ttrt
+
+    @property
+    def max_rotation(self) -> float:
+        """The classic 2·TTRT single-rotation bound (also TPT's token-loss
+        timer value, Sec. 3.1.3)."""
+        return 2.0 * self.ttrt
+
+
+def choose_ttrt(H: Sequence[float], walk_time: float,
+                margin: float = 1.0) -> float:
+    """Smallest feasible TTRT for the given allocations, scaled by
+    ``margin >= 1`` (headroom for async traffic)."""
+    if margin < 1.0:
+        raise ValueError(f"margin must be >= 1, got {margin!r}")
+    if walk_time <= 0:
+        raise ValueError(f"walk_time must be positive, got {walk_time!r}")
+    if any(h < 0 for h in H):
+        raise ValueError("allocations must be >= 0")
+    return (sum(H) + walk_time) * margin

@@ -1,0 +1,14 @@
+"""Token Passing Tree (TPT) — the paper's comparator protocol [11].
+
+A timed-token MAC over a spanning tree of the ad hoc network: the token
+follows the depth-first Euler tour (``2(N-1)`` link crossings per round),
+only the token holder transmits, synchronous (real-time) traffic gets a
+per-round allocation ``H_i`` and asynchronous traffic the early-token credit
+of the timed-token rules.  Token loss is detected with a per-station
+``2·TTRT`` watchdog; a lost tree triggers a full rebuild.
+"""
+
+from repro.baselines.tpt.station import TPTStation
+from repro.baselines.tpt.protocol import TPTNetwork, TPTConfig
+
+__all__ = ["TPTStation", "TPTNetwork", "TPTConfig"]

@@ -1,0 +1,100 @@
+"""A TPT station: synchronous allocation plus two FIFO queues.
+
+TPT distinguishes real-time (synchronous, budgeted by ``H_i``) and
+best-effort (asynchronous, budgeted by the early-token credit) traffic.
+Premium packets map to synchronous transmission; Assured and best-effort
+both ride the async budget (TPT has no third class — one of the reasons the
+paper positions WRT-Ring as Diffserv-ready and TPT not).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.core.packet import Packet, ServiceClass
+
+__all__ = ["TPTStation"]
+
+
+class TPTStation:
+    """Protocol state of one tree member."""
+
+    def __init__(self, sid: int, H: int):
+        if H < 0:
+            raise ValueError(f"synchronous allocation must be >= 0, got {H}")
+        self.sid = sid
+        self.H = H
+        self.rt_queue: Deque[Packet] = deque()
+        self.be_queue: Deque[Packet] = deque()
+        self.sent: Dict[ServiceClass, int] = {c: 0 for c in ServiceClass}
+        self.received: Dict[ServiceClass, int] = {c: 0 for c in ServiceClass}
+        self.enqueued: Dict[ServiceClass, int] = {c: 0 for c in ServiceClass}
+        self.last_token_arrival: Optional[float] = None
+        self.token_visits = 0   # first-of-round visits
+        # per-visit transmission budgets (packets)
+        self.sync_budget = 0
+        self.async_budget = 0
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet, now: float) -> None:
+        if not self.alive:
+            raise RuntimeError(f"station {self.sid} is not alive")
+        if packet.src != self.sid:
+            raise ValueError(
+                f"packet src {packet.src} enqueued at station {self.sid}")
+        packet.t_enqueue = now
+        if packet.service is ServiceClass.PREMIUM:
+            self.rt_queue.append(packet)
+        else:
+            self.be_queue.append(packet)
+        self.enqueued[packet.service] += 1
+
+    def queue_length(self, service: Optional[ServiceClass] = None) -> int:
+        if service is None:
+            return len(self.rt_queue) + len(self.be_queue)
+        if service is ServiceClass.PREMIUM:
+            return len(self.rt_queue)
+        return len(self.be_queue)
+
+    # ------------------------------------------------------------------
+    def grant_budgets(self, now: float, ttrt: float) -> Optional[float]:
+        """Timed-token rules on a first-of-round token arrival.
+
+        Returns the measured rotation time (None on the very first visit).
+        """
+        trt = None
+        if self.last_token_arrival is not None:
+            trt = now - self.last_token_arrival
+        self.last_token_arrival = now
+        self.token_visits += 1
+        self.sync_budget = self.H
+        self.async_budget = int(max(0.0, ttrt - trt)) if trt is not None else 0
+        return trt
+
+    def select_packet(self) -> Optional[Packet]:
+        """One packet per slot while the station holds the token."""
+        if self.sync_budget > 0 and self.rt_queue:
+            self.sync_budget -= 1
+            pkt = self.rt_queue.popleft()
+        elif self.async_budget > 0 and self.be_queue and (
+                self.sync_budget == 0 or not self.rt_queue):
+            self.async_budget -= 1
+            pkt = self.be_queue.popleft()
+        else:
+            return None
+        self.sent[pkt.service] += 1
+        return pkt
+
+    @property
+    def wants_to_transmit(self) -> bool:
+        return ((self.sync_budget > 0 and bool(self.rt_queue))
+                or (self.async_budget > 0 and bool(self.be_queue)))
+
+    def on_deliver(self, packet: Packet) -> None:
+        self.received[packet.service] += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<TPTStation {self.sid} H={self.H} "
+                f"q=({len(self.rt_queue)},{len(self.be_queue)})>")

@@ -1,0 +1,302 @@
+"""Command-line interface.
+
+Four subcommands, mirroring the library's main entry points::
+
+    python -m repro simulate  --n 8 --l 2 --k 1 --horizon 20000 [--traffic ...]
+    python -m repro bounds    --n 8 --l 2 --k 1 [--t-rap 9] [--backlog 4]
+    python -m repro compare   --n 8 --quota 3 --horizon 10000
+    python -m repro allocate  --demands rate:deadline:backlog,... [--scheme local]
+
+``simulate`` runs a full scenario (optionally with mobility and scripted
+faults) and prints the summary; ``bounds`` evaluates the paper's closed
+forms; ``compare`` runs the WRT-Ring-vs-TPT trio (round trip, capacity,
+failure reaction); ``allocate`` sizes the guaranteed quotas for a demand
+set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WRT-Ring (Donatiello & Furini 2003) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a WRT-Ring scenario")
+    sim.add_argument("--config", type=str, default=None,
+                     help="JSON scenario file (overrides the other flags)")
+    sim.add_argument("--n", type=int, default=8)
+    sim.add_argument("--l", type=int, default=2)
+    sim.add_argument("--k", type=int, default=1)
+    sim.add_argument("--horizon", type=float, default=10_000.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--traffic", choices=["none", "poisson", "cbr", "video",
+                                           "backlog"], default="poisson")
+    sim.add_argument("--rate", type=float, default=0.05,
+                     help="per-station rate for poisson traffic")
+    sim.add_argument("--period", type=float, default=20.0,
+                     help="period / frame interval for cbr/video")
+    sim.add_argument("--service", choices=["premium", "assured", "be"],
+                     default="premium")
+    sim.add_argument("--deadline", type=float, default=None)
+    sim.add_argument("--rap", action="store_true",
+                     help="enable the Random Access Period")
+    sim.add_argument("--wander", type=float, default=0.0,
+                     help="mobility wander radius (0 = static)")
+    sim.add_argument("--kill", type=str, default="",
+                     help="comma list of station:time silent deaths")
+    sim.add_argument("--leave", type=str, default="",
+                     help="comma list of station:time announced departures")
+    sim.add_argument("--check-invariants", action="store_true")
+    sim.add_argument("--json", action="store_true", help="JSON summary")
+
+    bounds = sub.add_parser("bounds", help="evaluate the Sec. 2.6 closed forms")
+    bounds.add_argument("--n", type=int, required=True)
+    bounds.add_argument("--l", type=int, required=True)
+    bounds.add_argument("--k", type=int, required=True)
+    bounds.add_argument("--t-rap", type=float, default=0.0)
+    bounds.add_argument("--backlog", type=int, default=0,
+                        help="x for the Theorem-3 access bound")
+    bounds.add_argument("--rounds", type=int, default=1,
+                        help="n for the Theorem-2 window bound")
+    bounds.add_argument("--json", action="store_true")
+
+    cmp_ = sub.add_parser("compare", help="WRT-Ring vs TPT trio")
+    cmp_.add_argument("--n", type=int, default=8)
+    cmp_.add_argument("--quota", type=int, default=3,
+                      help="per-station reserved bandwidth (l+k = H)")
+    cmp_.add_argument("--horizon", type=float, default=10_000.0)
+    cmp_.add_argument("--json", action="store_true")
+
+    alloc = sub.add_parser("allocate", help="size the guaranteed quotas")
+    alloc.add_argument("--demands", type=str, required=True,
+                       help="comma list of rate:deadline:backlog per station "
+                            "(deadline '-' for none)")
+    alloc.add_argument("--scheme", choices=["equal", "proportional",
+                                            "normalized_proportional",
+                                            "local"],
+                       default="local")
+    alloc.add_argument("--k", type=int, default=1,
+                       help="fixed non-RT quota per station")
+    alloc.add_argument("--t-rap", type=float, default=0.0)
+    alloc.add_argument("--json", action="store_true")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _parse_station_times(text: str) -> List[tuple]:
+    out = []
+    if not text:
+        return out
+    for item in text.split(","):
+        station, _, when = item.partition(":")
+        if not when:
+            raise SystemExit(f"bad station:time entry {item!r}")
+        out.append((int(station), float(when)))
+    return out
+
+
+def _emit(payload: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2, default=str))
+        return
+    for key, value in payload.items():
+        print(f"{key:28s} {value}")
+
+
+# ----------------------------------------------------------------------
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.packet import ServiceClass
+    from repro.faults import FaultSchedule
+    from repro.scenarios import MobilitySpec, Scenario, TrafficMix, run_scenario
+
+    if args.config is not None:
+        from repro.config_io import load_scenario
+        result = run_scenario(load_scenario(args.config))
+        _emit(result.summary(), args.json)
+        return 0
+
+    service = {"premium": ServiceClass.PREMIUM,
+               "assured": ServiceClass.ASSURED,
+               "be": ServiceClass.BEST_EFFORT}[args.service]
+    if service is ServiceClass.BEST_EFFORT and args.deadline is not None:
+        raise SystemExit("best-effort traffic cannot carry deadlines")
+
+    builder = FaultSchedule.builder()
+    for station, when in _parse_station_times(args.kill):
+        builder.kill(station, at=when)
+    for station, when in _parse_station_times(args.leave):
+        builder.leave(station, at=when)
+    schedule = builder.build()
+
+    scenario = Scenario(
+        n=args.n, l=args.l, k=args.k,
+        rap_enabled=args.rap,
+        traffic=TrafficMix(kind=args.traffic, rate=args.rate,
+                           period=args.period, service=service,
+                           deadline=args.deadline),
+        mobility=(MobilitySpec(wander_radius=args.wander)
+                  if args.wander > 0 else None),
+        faults=schedule if schedule.events else None,
+        check_invariants=args.check_invariants,
+        horizon=args.horizon, seed=args.seed)
+    result = run_scenario(scenario)
+    _emit(result.summary(), args.json)
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.analysis.bounds import (access_delay_bound,
+                                       mean_sat_rotation_bound,
+                                       sat_multi_round_bound_homogeneous,
+                                       sat_rotation_bound_homogeneous)
+    quotas = [(args.l, args.k)] * args.n
+    payload = {
+        "theorem1_sat_time": sat_rotation_bound_homogeneous(
+            args.n, args.l, args.k, T_rap=args.t_rap),
+        f"theorem2_{args.rounds}_rounds": sat_multi_round_bound_homogeneous(
+            args.rounds, args.n, args.l, args.k, T_rap=args.t_rap),
+        "proposition3_mean": mean_sat_rotation_bound(
+            args.n, args.t_rap, quotas),
+        f"theorem3_access_x{args.backlog}": access_delay_bound(
+            args.backlog, args.l, args.n, args.t_rap, quotas),
+    }
+    _emit(payload, args.json)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.analysis.bounds import sat_walk_time, tpt_token_walk_time
+    from repro.baselines import TPTConfig, TPTNetwork, choose_ttrt
+    from repro.core.config import WRTRingConfig
+    from repro.core.packet import Packet, ServiceClass
+    from repro.core.ring import WRTRingNetwork
+    from repro.phy.topology import build_bfs_tree
+    from repro.sim.engine import Engine
+
+    n, quota = args.n, args.quota
+    l = max(quota - 1, 1)
+    k = quota - l
+
+    def saturate(net, seed=0):
+        rng = random.Random(seed)
+
+        def top(t):
+            for sid in list(net.members):
+                st = net.stations[sid]
+                if not getattr(st, "alive", True):
+                    continue
+                while len(st.rt_queue) < 10:
+                    dst = rng.choice([d for d in net.members if d != sid])
+                    st.enqueue(Packet(src=sid, dst=dst,
+                                      service=ServiceClass.PREMIUM,
+                                      created=t), t)
+        net.add_tick_hook(top)
+
+    def wrt():
+        engine = Engine()
+        cfg = WRTRingConfig.homogeneous(range(n), l=l, k=k, rap_enabled=False)
+        return WRTRingNetwork(engine, list(range(n)), cfg)
+
+    def tpt():
+        engine = Engine()
+        from repro.phy.geometry import ring_placement
+        from repro.phy.topology import ConnectivityGraph
+        graph = ConnectivityGraph(ring_placement(n, radius=30.0), 120.0)
+        children = build_bfs_tree(graph, root=0)
+        ttrt = choose_ttrt([quota] * n, 2 * (n - 1), margin=1.5)
+        return TPTNetwork(engine, children, root=0,
+                          config=TPTConfig(H={i: quota for i in range(n)},
+                                           ttrt=ttrt), graph=graph)
+
+    # capacity
+    w_net, t_net = wrt(), tpt()
+    saturate(w_net)
+    saturate(t_net)
+    w_net.start(), t_net.start()
+    w_net.engine.run(until=args.horizon)
+    t_net.engine.run(until=args.horizon)
+    # CSMA comparator: same stations, saturated, single cell
+    from repro.baselines import CSMAConfig, CSMANetwork
+    c_engine = Engine()
+    c_net = CSMANetwork(c_engine, list(range(n)), config=CSMAConfig(),
+                        rng=random.Random(0))
+    saturate(c_net)
+    c_net.start()
+    c_engine.run(until=args.horizon)
+    # failure reaction
+    w2, t2 = wrt(), tpt()
+    w2.start(), t2.start()
+    w2.engine.run(until=100)
+    t2.engine.run(until=100)
+    w2.kill_station(n // 2)
+    t2.kill_station(n // 2)
+    w2.engine.run(until=50_000)
+    t2.engine.run(until=50_000)
+    payload = {
+        "idle_round_trip_wrt": sat_walk_time(n),
+        "idle_round_trip_tpt": tpt_token_walk_time(n),
+        "capacity_wrt_pkt_per_slot": w_net.metrics.total_delivered / args.horizon,
+        "capacity_tpt_pkt_per_slot": t_net.metrics.total_delivered / args.horizon,
+        "capacity_csma_pkt_per_slot": c_net.metrics.total_delivered / args.horizon,
+        "csma_collision_fraction": c_net.collision_fraction,
+        "failure_repair_wrt_slots": w2.recovery.records[0].total_delay,
+        "failure_repair_tpt_slots": t2.records[0].total_delay,
+    }
+    _emit(payload, args.json)
+    return 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    from repro.bandwidth import AllocationProblem, StationDemand, allocate
+
+    demands = []
+    for sid, item in enumerate(args.demands.split(",")):
+        parts = item.split(":")
+        if len(parts) != 3:
+            raise SystemExit(f"bad demand entry {item!r}; "
+                             f"expected rate:deadline:backlog")
+        rate, deadline, backlog = parts
+        demands.append(StationDemand(
+            sid=sid, rt_rate=float(rate),
+            deadline=None if deadline == "-" else float(deadline),
+            max_backlog=int(backlog), k=args.k))
+    problem = AllocationProblem(demands=demands, t_rap=args.t_rap)
+    result = allocate(problem, scheme=args.scheme)
+    payload = {
+        "scheme": result.scheme,
+        "feasible": result.feasible,
+        "l": result.l,
+        "total_l": result.total_l,
+        "violations": result.violations,
+    }
+    _emit(payload, args.json)
+    return 0 if result.feasible else 1
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "bounds": _cmd_bounds,
+    "compare": _cmd_compare,
+    "allocate": _cmd_allocate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

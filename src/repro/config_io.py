@@ -1,0 +1,136 @@
+"""Scenario (de)serialization: JSON-friendly dicts <-> Scenario objects.
+
+Lets complete experiments be described as config files and run with
+``python -m repro simulate --config scenario.json`` — the usual workflow of
+simulation studies (parameter files under version control, results
+regenerable from them).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.core.packet import ServiceClass
+from repro.core.quotas import QuotaConfig
+from repro.faults import FaultEvent, FaultSchedule
+from repro.phy.geometry import Arena
+from repro.scenarios import MobilitySpec, Scenario, TrafficMix
+
+__all__ = ["scenario_to_dict", "scenario_from_dict",
+           "load_scenario", "save_scenario"]
+
+_SERVICE_NAMES = {c.name.lower(): c for c in ServiceClass}
+
+
+def _service_to_name(service: ServiceClass) -> str:
+    return service.name.lower()
+
+
+def _service_from_name(name: str) -> ServiceClass:
+    try:
+        return _SERVICE_NAMES[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown service class {name!r}; "
+                         f"known: {sorted(_SERVICE_NAMES)}") from None
+
+
+# ----------------------------------------------------------------------
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """A JSON-serializable description of ``scenario``."""
+    out: Dict[str, Any] = {
+        "n": scenario.n,
+        "placement": scenario.placement,
+        "radius": scenario.radius,
+        "range_margin": scenario.range_margin,
+        "arena": {"width": scenario.arena.width,
+                  "height": scenario.arena.height},
+        "l": scenario.l,
+        "k": scenario.k,
+        "rap_enabled": scenario.rap_enabled,
+        "t_ear": scenario.t_ear,
+        "t_update": scenario.t_update,
+        "use_channel": scenario.use_channel,
+        "validate_phy": scenario.validate_phy,
+        "check_invariants": scenario.check_invariants,
+        "horizon": scenario.horizon,
+        "seed": scenario.seed,
+        "traffic": {
+            "kind": scenario.traffic.kind,
+            "rate": scenario.traffic.rate,
+            "period": scenario.traffic.period,
+            "service": _service_to_name(scenario.traffic.service),
+            "deadline": scenario.traffic.deadline,
+            "neighbours_only": scenario.traffic.neighbours_only,
+        },
+    }
+    if scenario.quotas is not None:
+        out["quotas"] = {str(sid): [q.l, q.k1, q.k2]
+                         for sid, q in scenario.quotas.items()}
+    if scenario.mobility is not None:
+        out["mobility"] = {
+            "wander_radius": scenario.mobility.wander_radius,
+            "speed": scenario.mobility.speed,
+            "update_every": scenario.mobility.update_every,
+        }
+    if scenario.faults is not None:
+        out["faults"] = [
+            {"time": e.time, "kind": e.kind, "station": e.station,
+             **({"params": e.params} if e.params else {})}
+            for e in scenario.faults.events]
+    return out
+
+
+def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
+    """Build a Scenario from the dict shape :func:`scenario_to_dict` emits."""
+    data = dict(data)
+    kwargs: Dict[str, Any] = {}
+    for key in ("n", "placement", "radius", "range_margin", "l", "k",
+                "rap_enabled", "t_ear", "t_update", "use_channel",
+                "validate_phy", "check_invariants", "horizon", "seed"):
+        if key in data:
+            kwargs[key] = data[key]
+
+    if "arena" in data:
+        kwargs["arena"] = Arena(**data["arena"])
+
+    if "traffic" in data:
+        traffic = dict(data["traffic"])
+        if "service" in traffic:
+            traffic["service"] = _service_from_name(traffic["service"])
+        kwargs["traffic"] = TrafficMix(**traffic)
+
+    if "quotas" in data and data["quotas"] is not None:
+        kwargs["quotas"] = {
+            int(sid): QuotaConfig(l=vals[0], k1=vals[1], k2=vals[2])
+            for sid, vals in data["quotas"].items()}
+
+    if "mobility" in data and data["mobility"] is not None:
+        kwargs["mobility"] = MobilitySpec(**data["mobility"])
+
+    if "faults" in data and data["faults"]:
+        events = []
+        for entry in data["faults"]:
+            events.append(FaultEvent(time=entry["time"], kind=entry["kind"],
+                                     station=entry.get("station"),
+                                     params=entry.get("params", {})))
+        kwargs["faults"] = FaultSchedule(events)
+
+    unknown = set(data) - {"n", "placement", "radius", "range_margin",
+                           "arena", "l", "k", "rap_enabled", "t_ear",
+                           "t_update", "use_channel", "validate_phy",
+                           "check_invariants", "horizon", "seed", "traffic",
+                           "quotas", "mobility", "faults"}
+    if unknown:
+        raise ValueError(f"unknown scenario keys: {sorted(unknown)}")
+    return Scenario(**kwargs)
+
+
+# ----------------------------------------------------------------------
+def save_scenario(scenario: Scenario, path) -> None:
+    Path(path).write_text(json.dumps(scenario_to_dict(scenario), indent=2))
+
+
+def load_scenario(path) -> Scenario:
+    return scenario_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,40 @@
+"""WRT-Ring: the paper's primary contribution.
+
+A slotted virtual-ring MAC with receiver-oriented CDMA, SAT-regulated
+transmission quotas (``l`` real-time + ``k = k1 + k2`` non-real-time per SAT
+round), Diffserv-compatible service classes, RAP-based station insertion,
+graceful/ungraceful departure and SAT-loss recovery — implementing Sections
+2.1-2.5 of the paper, with the Section 2.6 bounds available in
+:mod:`repro.analysis.bounds` and enforced by the admission controller.
+
+Entry point: :class:`~repro.core.ring.WRTRingNetwork` built from a
+:class:`~repro.core.config.WRTRingConfig`.
+"""
+
+from repro.core.packet import Packet, ServiceClass
+from repro.core.quotas import QuotaConfig
+from repro.core.config import WRTRingConfig
+from repro.core.station import WRTRingStation
+from repro.core.sat import SAT, RotationLog
+from repro.core.ring import WRTRingNetwork, RingSlot
+from repro.core.join import JoinRequester, JoinOutcome
+from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.diffserv import DiffservProfile, split_k_quota
+
+__all__ = [
+    "Packet",
+    "ServiceClass",
+    "QuotaConfig",
+    "WRTRingConfig",
+    "WRTRingStation",
+    "SAT",
+    "RotationLog",
+    "WRTRingNetwork",
+    "RingSlot",
+    "JoinRequester",
+    "JoinOutcome",
+    "AdmissionController",
+    "AdmissionDecision",
+    "DiffservProfile",
+    "split_k_quota",
+]

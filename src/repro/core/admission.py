@@ -1,0 +1,143 @@
+"""Admission control driven by the Sec. 2.6 bounds.
+
+The paper's join procedure says "the station specifies its QoS traffic
+requirements and the network checks if the requirements can be satisfied".
+The check this module implements is exactly the worst-case machinery of
+Sec. 2.6:
+
+* the post-join Theorem-1 bound must stay within the network-wide delay
+  budget (``config.max_network_delay``), and
+* for every station with a registered QoS requirement — a deadline ``D_i``
+  on the access delay of a real-time packet arriving behind at most ``x_i``
+  queued packets — the Theorem-3 bound evaluated on the *post-join* ring
+  must still be ≤ ``D_i`` (including the requirement the joiner itself
+  declares in its ``JOIN_REQ``).
+
+Rejecting a join request therefore never degrades the service of admitted
+stations: guarantees are preserved by construction (E02/E03's property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.bounds import access_delay_bound, sat_rotation_bound
+from repro.core.quotas import QuotaConfig
+
+__all__ = ["AdmissionController", "AdmissionDecision", "QoSRequirement"]
+
+
+@dataclass(frozen=True)
+class QoSRequirement:
+    """Per-station real-time requirement: access delay <= deadline for a
+    packet arriving behind at most ``max_backlog`` queued RT packets."""
+
+    deadline: float
+    max_backlog: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline!r}")
+        if self.max_backlog < 0:
+            raise ValueError(f"max_backlog must be >= 0, got {self.max_backlog!r}")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    accepted: bool
+    reason: str
+    projected_sat_bound: float
+    violated_station: Optional[int] = None
+
+
+class AdmissionController:
+    """Evaluates join requests against the registered guarantees."""
+
+    def __init__(self, net) -> None:
+        self.net = net
+        self.requirements: Dict[int, QoSRequirement] = {}
+        self.decisions: List[AdmissionDecision] = []
+
+    # ------------------------------------------------------------------
+    def register_requirement(self, sid: int, deadline: float,
+                             max_backlog: int = 0) -> None:
+        """Declare that station ``sid`` needs the Theorem-3 guarantee."""
+        self.requirements[sid] = QoSRequirement(deadline, max_backlog)
+
+    def clear_requirement(self, sid: int) -> None:
+        self.requirements.pop(sid, None)
+
+    # ------------------------------------------------------------------
+    def _projected_ring(self, new_quota: QuotaConfig) -> Tuple[float, float, list]:
+        net = self.net
+        S_new = (net.n + 1) * net.config.sat_hop_slots
+        t_rap = net.config.effective_t_rap()
+        quotas = [net.stations[sid].quota for sid in net.order] + [new_quota]
+        return S_new, t_rap, quotas
+
+    def evaluate(self, request) -> AdmissionDecision:
+        """Admission verdict for a ``JoinRequest``-shaped object (needs
+        ``.quota``, ``.deadline_req``, ``.max_backlog``)."""
+        net = self.net
+        S_new, t_rap, quotas = self._projected_ring(request.quota)
+        projected = sat_rotation_bound(S_new, t_rap, quotas)
+
+        budget = net.config.max_network_delay
+        if budget is not None and projected > budget:
+            decision = AdmissionDecision(
+                False, f"projected SAT_TIME {projected:.0f} exceeds network "
+                       f"budget {budget:.0f}", projected)
+            self.decisions.append(decision)
+            return decision
+
+        # existing stations' Theorem-3 guarantees on the post-join ring
+        for sid, req in self.requirements.items():
+            if sid not in net._pos:
+                continue
+            l_i = net.stations[sid].quota.l
+            if l_i == 0:
+                continue
+            worst = access_delay_bound(req.max_backlog, l_i, S_new, t_rap, quotas)
+            if worst > req.deadline:
+                decision = AdmissionDecision(
+                    False, f"station {sid} guarantee {req.deadline:.0f} would "
+                           f"be violated (worst {worst:.0f})",
+                    projected, violated_station=sid)
+                self.decisions.append(decision)
+                return decision
+
+        # the joiner's own requirement
+        if request.deadline_req is not None:
+            if request.quota.l == 0:
+                decision = AdmissionDecision(
+                    False, "deadline requested but l=0 (no guaranteed quota)",
+                    projected)
+                self.decisions.append(decision)
+                return decision
+            worst = access_delay_bound(request.max_backlog, request.quota.l,
+                                       S_new, t_rap, quotas)
+            if worst > request.deadline_req:
+                decision = AdmissionDecision(
+                    False, f"requested deadline {request.deadline_req:.0f} "
+                           f"unachievable (worst {worst:.0f})", projected)
+                self.decisions.append(decision)
+                return decision
+
+        decision = AdmissionDecision(True, "admitted", projected)
+        self.decisions.append(decision)
+        return decision
+
+    # ------------------------------------------------------------------
+    def max_admissible_quota(self) -> int:
+        """Largest ``l + k`` a joiner could request and still be admitted
+        under the network budget alone (advertised in ``NEXT_FREE``)."""
+        net = self.net
+        budget = net.config.max_network_delay
+        if budget is None:
+            return 10 ** 6  # effectively unlimited
+        S_new = (net.n + 1) * net.config.sat_hop_slots
+        t_rap = net.config.effective_t_rap()
+        current = sum(net.stations[sid].quota.total for sid in net.order)
+        headroom = budget - S_new - t_rap - 2.0 * current
+        return max(int(headroom // 2.0), 0)

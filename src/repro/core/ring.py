@@ -1,0 +1,534 @@
+"""The WRT-Ring network: slotted dataplane + SAT circulation.
+
+Model
+-----
+Time advances in slots (one tick per slot).  Each tick every alive station
+simultaneously transmits at most one packet to its ring successor — this is
+the CDMA concurrency of Sec. 2.1: station ``i`` spreads with ``code(i+1)``,
+so all N hops are collision-free and simultaneous.  The dataplane is a
+buffer-insertion ring (inherited from RT-Ring/MetaRing): traffic in transit
+has priority, a station inserts its own packets (per the Sec. 2.2 send
+algorithm) only when its insertion buffer is empty, and the destination
+strips packets (spatial reuse).
+
+The SAT control signal travels in the same direction, one hop per
+``sat_hop_slots`` slots, and is seized by not-satisfied stations per the
+SAT algorithm.  The Random Access Period (join), graceful/ungraceful leave
+and SAT-loss recovery are orchestrated by the managers in
+:mod:`repro.core.join` and :mod:`repro.core.recovery`.
+
+Tick ordering (at integer time ``t``):
+
+1. tick hooks (traffic sources, join requesters),
+2. dataplane transmit + receive (skipped while the network is paused for a
+   RAP, while rebuilding, or before the ring is up),
+3. SAT step (arrival processing, RAP entry, hold/release),
+4. PHY channel resolution (control handshakes, optional data validation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.bounds import sat_rotation_bound
+from repro.analysis.metrics import DeadlineTracker, DelaySeries
+from repro.core.config import WRTRingConfig
+from repro.core.packet import Packet, ServiceClass
+from repro.core.quotas import QuotaConfig
+from repro.core.sat import SAT, RotationLog
+from repro.core.station import WRTRingStation
+from repro.phy.cdma import BROADCAST_CODE, CodeSpace, assign_codes_sequential
+from repro.phy.channel import Frame, SlottedChannel
+from repro.sim.engine import Engine
+from repro.sim.trace import NullTraceRecorder, TraceRecorder
+
+__all__ = ["WRTRingNetwork", "RingSlot", "NetworkMetrics"]
+
+
+class RingSlot:  # retained for API compatibility with slot-oriented tooling
+    """A slot on the medium; used by introspection helpers and tests."""
+
+    __slots__ = ("packet",)
+
+    def __init__(self, packet: Optional[Packet] = None):
+        self.packet = packet
+
+    @property
+    def busy(self) -> bool:
+        return self.packet is not None
+
+
+class NetworkMetrics:
+    """Aggregated network-level measurements."""
+
+    def __init__(self) -> None:
+        self.access_delay: Dict[ServiceClass, DelaySeries] = {
+            c: DelaySeries(f"access[{c.short}]") for c in ServiceClass}
+        self.e2e_delay: Dict[ServiceClass, DelaySeries] = {
+            c: DelaySeries(f"e2e[{c.short}]") for c in ServiceClass}
+        self.deadlines = DeadlineTracker()
+        self.delivered: Dict[ServiceClass, int] = {c: 0 for c in ServiceClass}
+        self.transmitted: Dict[ServiceClass, int] = {c: 0 for c in ServiceClass}
+        self.lost = 0          # destroyed at a dead station / during rebuild
+        self.orphaned = 0      # circled back to source (destination gone)
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(self.delivered.values())
+
+
+class WRTRingNetwork:
+    """A running WRT-Ring.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine; the network schedules one tick per slot.
+    ring_order:
+        Station ids in ring sequence (successor of ``ring_order[i]`` is
+        ``ring_order[i+1]``, cyclically).
+    config:
+        Protocol parameters; ``config.quotas`` must cover every station.
+    graph:
+        Optional :class:`~repro.phy.topology.ConnectivityGraph` (or a
+        zero-arg callable returning one).  Needed for recovery range checks,
+        join reachability and PHY validation; without it every pair is
+        assumed reachable (the paper's "no hidden terminal" special case).
+    channel:
+        Optional :class:`~repro.phy.channel.SlottedChannel` for the control
+        handshakes and (with ``config.validate_phy``) dataplane validation.
+    codes:
+        Optional :class:`~repro.phy.cdma.CodeSpace`; defaults to sequential
+        unique codes, the paper's base assumption.
+    """
+
+    def __init__(self, engine: Engine, ring_order: List[int],
+                 config: WRTRingConfig,
+                 graph=None,
+                 channel: Optional[SlottedChannel] = None,
+                 codes: Optional[CodeSpace] = None,
+                 trace: Optional[TraceRecorder] = None):
+        if len(ring_order) < 2:
+            raise ValueError("a ring needs at least 2 stations")
+        if len(set(ring_order)) != len(ring_order):
+            raise ValueError("duplicate station ids in ring order")
+        missing = [sid for sid in ring_order if sid not in config.quotas]
+        if missing:
+            raise ValueError(f"no quotas configured for stations {missing}")
+
+        self.engine = engine
+        self.config = config
+        self.trace = trace if trace is not None else NullTraceRecorder()
+        self._graph_provider = (graph if callable(graph) or graph is None
+                                else (lambda: graph))
+        self.channel = channel
+        self.codes = codes if codes is not None else assign_codes_sequential(list(ring_order))
+
+        self.order: List[int] = list(ring_order)
+        self.stations: Dict[int, WRTRingStation] = {
+            sid: WRTRingStation(sid, config.quotas[sid]) for sid in ring_order}
+        self._pos: Dict[int, int] = {sid: i for i, sid in enumerate(self.order)}
+
+        self.sat = SAT()
+        self._sat_lost = False
+        self._sat_bound_cache = None
+        self.rotation_log = RotationLog()
+        self.metrics = NetworkMetrics()
+
+        self.pause_until: float = float("-inf")   # RAP pause window end
+        self.rebuilding_until: Optional[float] = None
+        self.network_down = False
+        self.started = False
+        self._tick_handle = None
+        self._tick_hooks: List[Callable[[float], None]] = []
+        self._frame_handlers: Dict[int, Callable[[Frame, float], None]] = {}
+        self._delivery_callbacks: Dict[int, Callable[[Packet, float], None]] = {}
+
+        # managers (imported lazily to avoid import cycles)
+        from repro.core.join import JoinManager
+        from repro.core.recovery import RecoveryManager
+        self.join_manager = JoinManager(self)
+        self.recovery = RecoveryManager(self)
+
+        if self.channel is not None:
+            for sid in self.order:
+                self._register_station_listener(sid)
+
+    # ------------------------------------------------------------------
+    # topology helpers
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.order)
+
+    @property
+    def members(self) -> List[int]:
+        return list(self.order)
+
+    def successor(self, sid: int) -> int:
+        return self.order[(self._pos[sid] + 1) % len(self.order)]
+
+    def predecessor(self, sid: int) -> int:
+        return self.order[(self._pos[sid] - 1) % len(self.order)]
+
+    def graph(self):
+        return self._graph_provider() if self._graph_provider is not None else None
+
+    def reachable(self, a: int, b: int) -> bool:
+        """Single-hop reachability; True when no graph is modelled."""
+        g = self.graph()
+        if g is None:
+            return True
+        if not (g.has_node(a) and g.has_node(b)):
+            return False
+        return g.in_range(a, b)
+
+    def ring_latency(self) -> float:
+        """S: SAT walk across the ring without stops, in slots."""
+        return self.n * self.config.sat_hop_slots
+
+    def sat_time_bound(self) -> float:
+        """The current Theorem-1 bound, used to arm the SAT_TIMERs.
+
+        Cached: it is queried on every SAT release (hot path) but only
+        changes when the membership or a quota changes, both of which go
+        through :meth:`_reindex`.
+        """
+        if self._sat_bound_cache is None:
+            quotas = [self.stations[sid].quota for sid in self.order]
+            self._sat_bound_cache = sat_rotation_bound(
+                self.ring_latency(), self.config.effective_t_rap(), quotas)
+        return self._sat_bound_cache
+
+    def _register_station_listener(self, sid: int) -> None:
+        self.channel.register_listener(
+            sid, {self.codes.code_of(sid), BROADCAST_CODE})
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin ticking; the SAT starts at the first station in the order."""
+        if self.started:
+            raise RuntimeError("network already started")
+        self.started = True
+        first = self.order[0]
+        self.sat.at_station = first
+        self.stations[first].on_sat_arrival(self.engine.now)
+        self.recovery.arm_all()
+        self._tick_handle = self.engine.schedule(0.0, self._tick, priority=5)
+
+    def stop(self) -> None:
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+        self.recovery.disarm_all()
+
+    def add_tick_hook(self, hook: Callable[[float], None]) -> None:
+        """Register ``hook(t)`` to run at the start of every tick."""
+        self._tick_hooks.append(hook)
+
+    def register_frame_handler(self, station_or_code: int,
+                               handler: Callable[[Frame, float], None]) -> None:
+        """Deliver channel frames arriving for ``station_or_code`` to ``handler``."""
+        self._frame_handlers[station_or_code] = handler
+
+    # ------------------------------------------------------------------
+    # application interface
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> None:
+        """Hand a packet to its source station's MAC queues."""
+        st = self.stations.get(packet.src)
+        if st is None or packet.src not in self._pos:
+            raise KeyError(f"source station {packet.src} is not a ring member")
+        st.enqueue(packet, self.engine.now)
+
+    # ------------------------------------------------------------------
+    # fault / dynamics injection
+    # ------------------------------------------------------------------
+    def kill_station(self, sid: int) -> None:
+        """Station disappears without notice (battery out, walked away)."""
+        st = self.stations.get(sid)
+        if st is None:
+            raise KeyError(f"unknown station {sid}")
+        st.alive = False
+        self.recovery.note_failure(sid, self.engine.now)
+        self.trace.record(self.engine.now, "ring.kill", station=sid)
+        # a SAT at/heading to the dead station is lost with it
+        if self.sat.at_station == sid or self.sat.in_flight_to == sid:
+            self.drop_sat()
+
+    def leave_gracefully(self, sid: int) -> None:
+        """Sec. 2.4.2: the station announces its departure; its successor
+        will convert the next SAT into a SAT_REC that cuts it out."""
+        st = self.stations.get(sid)
+        if st is None or sid not in self._pos:
+            raise KeyError(f"station {sid} is not a ring member")
+        if len(self.order) <= 2:
+            raise RuntimeError("cannot leave: ring would drop below 2 stations")
+        st.leaving = True
+        self.trace.record(self.engine.now, "ring.leave_announced", station=sid)
+
+    def drop_sat(self) -> None:
+        """Inject a control-signal loss (Sec. 2.5's trigger)."""
+        self._sat_lost = True
+        self.sat.at_station = None
+        self.sat.in_flight_to = None
+        self.sat.arrival_time = None
+        self.recovery.note_sat_loss(self.engine.now)
+        self.trace.record(self.engine.now, "sat.lost")
+
+    # ------------------------------------------------------------------
+    # membership mutation (used by join/recovery managers)
+    # ------------------------------------------------------------------
+    def _reindex(self) -> None:
+        self._pos = {sid: i for i, sid in enumerate(self.order)}
+        self._sat_bound_cache = None   # membership changed: bound changed
+
+    def insert_station(self, new_sid: int, after: int, quota: QuotaConfig,
+                       code: Optional[int] = None) -> WRTRingStation:
+        """Insert ``new_sid`` between ``after`` and its successor."""
+        if new_sid in self._pos:
+            raise ValueError(f"station {new_sid} already in the ring")
+        if after not in self._pos:
+            raise KeyError(f"ingress {after} is not a ring member")
+        st = WRTRingStation(new_sid, quota)
+        self.stations[new_sid] = st
+        self.config.quotas[new_sid] = quota
+        self.order.insert(self._pos[after] + 1, new_sid)
+        self._reindex()
+        if code is None:
+            code = self.codes.next_free_code()
+        self.codes.assign(new_sid, code)
+        if self.channel is not None:
+            self._register_station_listener(new_sid)
+        self.recovery.on_membership_change(arm_new=new_sid)
+        self.trace.record(self.engine.now, "ring.insert",
+                          station=new_sid, after=after)
+        return st
+
+    def remove_station(self, sid: int) -> None:
+        """Drop ``sid`` from the ring (cut-out completed / graceful leave)."""
+        if sid not in self._pos:
+            raise KeyError(f"station {sid} is not a ring member")
+        if len(self.order) <= 2:
+            raise RuntimeError("cannot remove: ring would drop below 2 stations")
+        self.order.remove(sid)
+        self._reindex()
+        st = self.stations[sid]
+        st.alive = False
+        # in-transit packets buffered at the removed station are lost
+        self.metrics.lost += len(st.transit)
+        for pkt in st.transit:
+            pkt.dropped = True
+            self.metrics.deadlines.observe_drop(pkt.deadline)
+        st.transit.clear()
+        if self.channel is not None:
+            self.channel.remove_listener(sid)
+        self.recovery.on_membership_change(removed=sid)
+        self.trace.record(self.engine.now, "ring.remove", station=sid)
+
+    # ------------------------------------------------------------------
+    # the tick
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        t = self.engine.now
+        for hook in self._tick_hooks:
+            hook(t)
+
+        if self.network_down:
+            self._flush_channel(t)
+            return  # no further ticks
+
+        if self.rebuilding_until is not None:
+            if t >= self.rebuilding_until:
+                self.recovery.finish_rebuild(t)
+            # no dataplane, no SAT while rebuilding
+        else:
+            paused = t < self.pause_until
+            if not paused:
+                self._dataplane(t)
+                self._sat_step(t)
+            else:
+                self.join_manager.on_rap_tick(t)
+                if t + 1 >= self.pause_until:
+                    # RAP closes at the end of this tick
+                    self.join_manager.on_rap_end(t)
+
+        self._flush_channel(t)
+        self._tick_handle = self.engine.schedule(1.0, self._tick, priority=5)
+
+    def _flush_channel(self, t: float) -> None:
+        if self.channel is None:
+            return
+        deliveries = self.channel.resolve_slot(t)
+        for receiver, frames in deliveries.items():
+            handler = self._frame_handlers.get(receiver)
+            for fr in frames:
+                if fr.kind == "data":
+                    continue  # dataplane validation frames; payload unused
+                if handler is not None:
+                    handler(fr, t)
+
+    # ------------------------------------------------------------------
+    # dataplane
+    # ------------------------------------------------------------------
+    def _dataplane(self, t: float) -> None:
+        order = self.order
+        stations = self.stations
+        n = len(order)
+        outputs: List[Optional[Packet]] = [None] * n
+
+        # phase A: every alive station picks its transmission for this slot
+        transit_first = self.config.transit_priority
+        for idx in range(n):
+            st = stations[order[idx]]
+            if not st.alive:
+                continue
+            if transit_first and st.transit:
+                outputs[idx] = st.transit.popleft()
+            elif not st.leaving:
+                pkt = st.select_packet()
+                if pkt is not None:
+                    pkt.t_send = t
+                    self.metrics.transmitted[pkt.service] += 1
+                    series = self.metrics.access_delay[pkt.service]
+                    series.add(t - pkt.t_enqueue)
+                    outputs[idx] = pkt
+                elif st.transit:
+                    outputs[idx] = st.transit.popleft()
+            elif st.transit:
+                outputs[idx] = st.transit.popleft()
+
+        validate = self.config.validate_phy and self.channel is not None
+        enforce = self.config.enforce_radio_links and self._graph_provider is not None
+
+        # phase B: simultaneous one-hop advance
+        for idx in range(n):
+            pkt = outputs[idx]
+            if pkt is None:
+                continue
+            src_sid = order[idx]
+            dst_sid = order[(idx + 1) % n]
+            if validate:
+                self.channel.transmit(Frame(
+                    src=src_sid, code=self.codes.code_of(dst_sid),
+                    payload=pkt.pid, kind="data"))
+            if enforce and not self.reachable(src_sid, dst_sid):
+                # mobility broke this ring link: the frame is lost in the air
+                pkt.dropped = True
+                self.metrics.lost += 1
+                self.metrics.deadlines.observe_drop(pkt.deadline)
+                self.trace.record(t, "ring.link_loss", src=src_sid,
+                                  dst=dst_sid)
+                continue
+            receiver = stations[dst_sid]
+            if not receiver.alive:
+                pkt.dropped = True
+                self.metrics.lost += 1
+                self.metrics.deadlines.observe_drop(pkt.deadline)
+                continue
+            if pkt.dst == dst_sid:
+                self._deliver(pkt, receiver, t + 1.0)
+            elif pkt.src == dst_sid:
+                # came full circle: destination left the ring
+                pkt.dropped = True
+                self.metrics.orphaned += 1
+                self.metrics.deadlines.observe_drop(pkt.deadline)
+            else:
+                receiver.transit.append(pkt)
+
+    def add_delivery_callback(self, sid: int,
+                              callback: Callable[[Packet, float], None]) -> None:
+        """Run ``callback(packet, t)`` whenever a packet is delivered to
+        station ``sid`` (used by the gateway to forward into the LAN)."""
+        self._delivery_callbacks[sid] = callback
+
+    def _deliver(self, pkt: Packet, receiver: WRTRingStation, t: float) -> None:
+        pkt.t_deliver = t
+        receiver.on_deliver(pkt)
+        self.metrics.delivered[pkt.service] += 1
+        self.metrics.e2e_delay[pkt.service].add(t - pkt.created)
+        self.metrics.deadlines.observe(t, pkt.deadline)
+        callback = self._delivery_callbacks.get(receiver.sid)
+        if callback is not None:
+            callback(pkt, t)
+
+    # ------------------------------------------------------------------
+    # SAT circulation
+    # ------------------------------------------------------------------
+    def _sat_step(self, t: float) -> None:
+        if self._sat_lost:
+            return
+        sat = self.sat
+
+        if sat.in_flight:
+            if sat.arrival_time > t:
+                return
+            holder = sat.arrive()
+            if holder not in self._pos or not self.stations[holder].alive:
+                # transmitted into a void: signal lost with the station
+                self.drop_sat()
+                return
+            self._on_sat_arrival(holder, t)
+            if self._sat_lost or sat.in_flight or t < self.pause_until:
+                return
+
+        holder = sat.at_station
+        if holder is None:
+            return
+        station = self.stations[holder]
+        if not station.alive:
+            self.drop_sat()
+            return
+        if station.satisfied:
+            self._release_sat(holder, t)
+
+    def _on_sat_arrival(self, holder: int, t: float) -> None:
+        sat = self.sat
+        station = self.stations[holder]
+
+        if sat.kind == SAT.RECOVERY:
+            self.recovery.on_sat_rec_arrival(holder, t)
+            if self._sat_lost or sat.kind == SAT.RECOVERY:
+                return
+            # recovery just completed and the signal became a normal SAT
+            # held here; fall through to normal processing below.
+
+        # graceful leave: the successor of a leaving station converts the
+        # SAT into a SAT_REC cutting its predecessor out (Sec. 2.4.2)
+        pred = self.predecessor(holder)
+        if self.stations[pred].leaving and sat.kind == SAT.NORMAL:
+            self.recovery.start_graceful_cutout(failed=pred, originator=holder, t=t)
+            return
+
+        rotation = station.on_sat_arrival(t)
+        if rotation is not None:
+            self.rotation_log.add(holder, rotation)
+            self.trace.record(t, "sat.rotation", station=holder, rotation=rotation)
+        if holder == self.order[0]:
+            sat.rounds += 1
+            self.rotation_log.mark_round(sat.hops)
+
+        # RAP mutex release: one full round after the owner set it
+        if sat.rap_owner == holder and t >= self.pause_until:
+            sat.rap_mutex = False
+            sat.rap_owner = None
+
+        self.join_manager.maybe_enter_rap(holder, t)
+
+    def _release_sat(self, holder: int, t: float) -> None:
+        sat = self.sat
+        station = self.stations[holder]
+        station.on_sat_release(t)
+        self.recovery.restart_timer(holder)
+        nxt = self.successor(holder)
+        if self.config.enforce_radio_links and not self.reachable(holder, nxt):
+            # the ring link broke under the SAT: the signal is lost in the
+            # air and the Sec. 2.5 watchdogs will recover
+            self.trace.record(t, "sat.link_loss", src=holder, dst=nxt)
+            self.drop_sat()
+            return
+        sat.depart(nxt, t + self.config.sat_hop_slots)
+        self.trace.record(t, "sat.release", station=holder, to=nxt)

@@ -1,0 +1,24 @@
+"""Interconnection with a Diffserv LAN (Sec. 2.3, Fig. 2).
+
+The paper argues WRT-Ring interoperates with the two-bit Diffserv
+architecture [15]: the gateway station G1 "exactly knows the amount of the
+real-time traffic sent across the two networks", so admission on either side
+is a local check.  This subpackage builds the wired side and the bridge:
+
+- :mod:`repro.gateway.lan` — a slotted priority-scheduled LAN with
+  token-bucket-style bandwidth reservations per Diffserv class;
+- :mod:`repro.gateway.gateway` — the G1 station: forwards LAN->ring and
+  ring->LAN traffic and runs the two admission handshakes of Fig. 2.
+"""
+
+from repro.gateway.lan import DiffservLAN, LanHost, LanPacket
+from repro.gateway.gateway import Gateway, StreamRequest, StreamGrant
+
+__all__ = [
+    "DiffservLAN",
+    "LanHost",
+    "LanPacket",
+    "Gateway",
+    "StreamRequest",
+    "StreamGrant",
+]

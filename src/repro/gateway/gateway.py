@@ -1,0 +1,146 @@
+"""The gateway station G1 bridging the ring and the LAN (Fig. 2).
+
+G1 is an ordinary ring member — "this station doesn't differ from the other
+stations in the ring" — whose application layer forwards between the two
+networks and runs the two admission handshakes:
+
+* **LAN -> ring**: "the LAN asks G1 for the needed bandwidth ... the protocol
+  checks whether it is able to reserve the required bandwidth to G1":
+  the stream's packet rate must fit in G1's *unreserved* guaranteed quota
+  ``l`` per SAT round, using the Theorem-1 rotation bound as the round
+  length (worst case — an admitted stream can never outrun its quota);
+* **ring -> LAN**: "G1 asks the Diffserv architecture if the necessary
+  bandwidth can be guaranteed inside the LAN" — a Premium reservation on the
+  :class:`~repro.gateway.lan.DiffservLAN`.
+
+Non-premium streams are forwarded without reservation, in their mapped
+class (Sec. 2.3's table: Premium ↔ ``l``, Assured ↔ ``k1``, best-effort ↔
+``k2``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.packet import Packet, ServiceClass
+from repro.gateway.lan import DiffservLAN, LanPacket
+
+__all__ = ["Gateway", "StreamRequest", "StreamGrant"]
+
+_stream_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """An application stream crossing the gateway."""
+
+    rate: float                       # packets/slot
+    service: ServiceClass
+    direction: str                    # "lan_to_ring" | "ring_to_lan"
+    ring_endpoint: int                # src or dst station on the ring
+    lan_endpoint: int                 # src or dst host on the LAN
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate!r}")
+        if self.direction not in ("lan_to_ring", "ring_to_lan"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class StreamGrant:
+    stream_id: int
+    accepted: bool
+    reason: str
+
+
+class Gateway:
+    """Application-layer bridge living on ring station ``sid``."""
+
+    def __init__(self, network, sid: int, lan: DiffservLAN):
+        if sid not in network._pos:
+            raise KeyError(f"gateway station {sid} is not a ring member")
+        self.network = network
+        self.sid = sid
+        self.lan = lan
+        self.streams: Dict[int, StreamRequest] = {}
+        self.reserved_inbound_rate = 0.0   # LAN->ring premium packets/slot
+        self.forwarded_to_ring = 0
+        self.forwarded_to_lan = 0
+        self._ring_to_lan_dst: Dict[int, int] = {}   # pid -> lan host
+        network.add_delivery_callback(sid, self._on_ring_delivery)
+
+    # ------------------------------------------------------------------
+    # admission (the Fig. 2 handshakes)
+    # ------------------------------------------------------------------
+    def _premium_capacity(self) -> float:
+        """G1's guaranteed throughput: ``l`` packets per worst-case round."""
+        l = self.network.stations[self.sid].quota.l
+        return l / self.network.sat_time_bound()
+
+    def request_stream(self, request: StreamRequest) -> StreamGrant:
+        """Admit (or reject) a stream across the gateway."""
+        stream_id = next(_stream_ids)
+        if request.service is ServiceClass.PREMIUM:
+            if request.direction == "lan_to_ring":
+                capacity = self._premium_capacity()
+                if self.reserved_inbound_rate + request.rate > capacity + 1e-12:
+                    return StreamGrant(stream_id, False,
+                                       f"ring side: rate {request.rate:.4f} exceeds "
+                                       f"G1's free guaranteed capacity "
+                                       f"{capacity - self.reserved_inbound_rate:.4f}")
+                self.reserved_inbound_rate += request.rate
+            else:
+                if not self.lan.reserve(stream_id, request.rate):
+                    return StreamGrant(stream_id, False,
+                                       "LAN side: premium reservation refused")
+        self.streams[stream_id] = request
+        return StreamGrant(stream_id, True, "admitted")
+
+    def release_stream(self, stream_id: int) -> None:
+        request = self.streams.pop(stream_id, None)
+        if request is None:
+            return
+        if request.service is ServiceClass.PREMIUM:
+            if request.direction == "lan_to_ring":
+                self.reserved_inbound_rate -= request.rate
+            else:
+                self.lan.release(stream_id)
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def lan_ingress(self, pkt: LanPacket, ring_dst: int,
+                    deadline: Optional[float] = None) -> Packet:
+        """A LAN packet arriving at G1, to be relayed onto the ring."""
+        now = self.network.engine.now
+        ring_pkt = Packet(src=self.sid, dst=ring_dst, service=pkt.service,
+                          created=pkt.created,
+                          deadline=deadline if deadline is not None else pkt.deadline)
+        self.network.stations[self.sid].enqueue(ring_pkt, now)
+        self.forwarded_to_ring += 1
+        return ring_pkt
+
+    def send_to_lan(self, src_station: int, lan_dst: int,
+                    service: ServiceClass,
+                    deadline: Optional[float] = None) -> Packet:
+        """Create+enqueue a ring packet addressed to G1 for LAN host
+        ``lan_dst`` (the encapsulation the bridge uses)."""
+        now = self.network.engine.now
+        pkt = Packet(src=src_station, dst=self.sid, service=service,
+                     created=now,
+                     deadline=None if deadline is None else now + deadline)
+        self._ring_to_lan_dst[pkt.pid] = lan_dst
+        self.network.enqueue(pkt)
+        return pkt
+
+    def _on_ring_delivery(self, pkt: Packet, t: float) -> None:
+        lan_dst = self._ring_to_lan_dst.pop(pkt.pid, None)
+        if lan_dst is None:
+            return  # ordinary traffic terminating at G1
+        self.lan.send(LanPacket(src=self.sid, dst=lan_dst,
+                                service=pkt.service, created=pkt.created,
+                                deadline=pkt.deadline, payload=pkt.pid))
+        self.forwarded_to_lan += 1

@@ -1,0 +1,139 @@
+"""A Diffserv LAN model (the wired side of Fig. 2).
+
+A deliberately simple but faithful substrate: a slotted link of ``capacity``
+packets/slot serving three strict-priority class queues (Premium > Assured >
+best-effort), with *reservation-based admission* for Premium — exactly the
+part of the two-bit architecture [15] the paper's handshake relies on:
+"G1 asks the Diffserv architecture if the necessary bandwidth can be
+guaranteed inside the LAN".
+
+Premium reservations are capped at ``premium_share * capacity`` so admitted
+streams always fit; Assured and best-effort are not admission-controlled
+(their classes carry no guarantee, matching [15]).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.analysis.metrics import DelaySeries
+from repro.core.packet import ServiceClass
+from repro.sim.engine import Engine
+
+__all__ = ["LanPacket", "LanHost", "DiffservLAN"]
+
+
+@dataclass
+class LanPacket:
+    """A packet travelling on the LAN segment."""
+
+    src: int
+    dst: int
+    service: ServiceClass
+    created: float
+    deadline: Optional[float] = None
+    payload: object = None
+    t_deliver: Optional[float] = None
+
+
+@dataclass
+class LanHost:
+    """A wired host; ``receive`` is invoked on delivery."""
+
+    hid: int
+    receive: Optional[Callable[[LanPacket, float], None]] = None
+    received: List[LanPacket] = field(default_factory=list)
+
+    def deliver(self, pkt: LanPacket, t: float) -> None:
+        pkt.t_deliver = t
+        self.received.append(pkt)
+        if self.receive is not None:
+            self.receive(pkt, t)
+
+
+class DiffservLAN:
+    """The shared wired segment with per-class strict-priority service."""
+
+    def __init__(self, engine: Engine, capacity: int = 4,
+                 premium_share: float = 0.5):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1 packet/slot, got {capacity}")
+        if not 0.0 < premium_share <= 1.0:
+            raise ValueError(f"premium_share must be in (0,1], got {premium_share!r}")
+        self.engine = engine
+        self.capacity = capacity
+        self.premium_share = premium_share
+        self.hosts: Dict[int, LanHost] = {}
+        self.queues: Dict[ServiceClass, Deque[LanPacket]] = {
+            c: deque() for c in ServiceClass}
+        self.reserved_premium: float = 0.0   # packets/slot
+        self.reservations: Dict[int, float] = {}
+        self.delay: Dict[ServiceClass, DelaySeries] = {
+            c: DelaySeries(f"lan[{c.short}]") for c in ServiceClass}
+        self.delivered: Dict[ServiceClass, int] = {c: 0 for c in ServiceClass}
+        self.dropped = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def attach_host(self, host: LanHost) -> None:
+        if host.hid in self.hosts:
+            raise ValueError(f"host {host.hid} already attached")
+        self.hosts[host.hid] = host
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("LAN already started")
+        self._started = True
+        self.engine.schedule(0.0, self._serve, priority=4)
+
+    # ------------------------------------------------------------------
+    # Diffserv admission (the [15] handshake)
+    # ------------------------------------------------------------------
+    @property
+    def premium_budget(self) -> float:
+        return self.premium_share * self.capacity
+
+    def reserve(self, stream_id: int, rate: float) -> bool:
+        """Try to reserve ``rate`` packets/slot of Premium bandwidth."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if stream_id in self.reservations:
+            raise ValueError(f"stream {stream_id} already has a reservation")
+        if self.reserved_premium + rate > self.premium_budget + 1e-12:
+            return False
+        self.reservations[stream_id] = rate
+        self.reserved_premium += rate
+        return True
+
+    def release(self, stream_id: int) -> None:
+        rate = self.reservations.pop(stream_id, None)
+        if rate is not None:
+            self.reserved_premium -= rate
+
+    # ------------------------------------------------------------------
+    # dataplane
+    # ------------------------------------------------------------------
+    def send(self, pkt: LanPacket) -> None:
+        """Inject a packet into its class queue."""
+        if pkt.dst not in self.hosts:
+            raise KeyError(f"unknown LAN destination {pkt.dst}")
+        self.queues[pkt.service].append(pkt)
+
+    def _serve(self) -> None:
+        t = self.engine.now
+        budget = self.capacity
+        for service in ServiceClass:   # strict priority order
+            queue = self.queues[service]
+            while budget > 0 and queue:
+                pkt = queue.popleft()
+                budget -= 1
+                host = self.hosts.get(pkt.dst)
+                if host is None:
+                    self.dropped += 1
+                    continue
+                self.delivered[service] += 1
+                self.delay[service].add(t + 1.0 - pkt.created)
+                host.deliver(pkt, t + 1.0)
+        self.engine.schedule(1.0, self._serve, priority=4)

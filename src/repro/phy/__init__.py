@@ -1,0 +1,61 @@
+"""Wireless physical-layer substrate.
+
+The paper's channel model is deliberately abstract: stations live in an
+indoor arena, a station hears another iff it is within radio range (a unit
+disk graph), and CDMA receiver-oriented codes make concurrent transmissions
+collision-free *unless* two in-range senders use the same code in the same
+slot.  This subpackage implements exactly that model:
+
+- :mod:`repro.phy.geometry` — 2-D placements and vectorized distances,
+- :mod:`repro.phy.mobility` — low-mobility indoor movement models,
+- :mod:`repro.phy.topology` — connectivity graphs, virtual-ring and
+  token-tree construction (the paper delegates these to "routing protocols";
+  we build them so scenarios are self-contained),
+- :mod:`repro.phy.cdma` — code space and assignment algorithms,
+- :mod:`repro.phy.channel` — the slot-synchronous collision-resolving channel.
+"""
+
+from repro.phy.geometry import (
+    Arena,
+    distance_matrix,
+    ring_placement,
+    uniform_placement,
+    grid_placement,
+    clustered_placement,
+)
+from repro.phy.mobility import StaticMobility, JitterMobility, RandomWaypointMobility
+from repro.phy.topology import (
+    ConnectivityGraph,
+    construct_ring,
+    ring_is_feasible,
+    build_bfs_tree,
+    dfs_token_tour,
+    TopologyError,
+)
+from repro.phy.cdma import CodeSpace, BROADCAST_CODE, assign_codes_sequential, assign_codes_distributed
+from repro.phy.channel import SlottedChannel, Frame, CollisionRecord
+
+__all__ = [
+    "Arena",
+    "distance_matrix",
+    "ring_placement",
+    "uniform_placement",
+    "grid_placement",
+    "clustered_placement",
+    "StaticMobility",
+    "JitterMobility",
+    "RandomWaypointMobility",
+    "ConnectivityGraph",
+    "construct_ring",
+    "ring_is_feasible",
+    "build_bfs_tree",
+    "dfs_token_tour",
+    "TopologyError",
+    "CodeSpace",
+    "BROADCAST_CODE",
+    "assign_codes_sequential",
+    "assign_codes_distributed",
+    "SlottedChannel",
+    "Frame",
+    "CollisionRecord",
+]

@@ -1,0 +1,138 @@
+"""CDMA code space and code-assignment algorithms.
+
+Receiver-oriented CDMA, as the paper uses it: every station owns a unique
+code; to talk *to* station ``j`` you spread with ``code(j)``; station ``j``
+despreads only its own code (plus the common broadcast code), so concurrent
+transmissions with distinct codes never collide at a receiver (Fig. 1).
+
+The paper assumes codes "are given to each station when the virtual ring is
+created" and points to Hu's distributed assignment [19] for how.  We provide
+both: :func:`assign_codes_sequential` (the given-at-creation assumption) and
+:func:`assign_codes_distributed`, a greedy two-hop colouring in the spirit of
+[19] that reuses codes between stations far enough apart never to confuse a
+receiver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.phy.topology import ConnectivityGraph
+
+__all__ = [
+    "BROADCAST_CODE",
+    "CodeSpace",
+    "assign_codes_sequential",
+    "assign_codes_distributed",
+]
+
+#: The common code every station also listens on; used only for topology
+#: changes (NEXT_FREE announcements, join replies, ring-lost notifications).
+BROADCAST_CODE = -1
+
+
+class CodeSpace:
+    """Bookkeeping of station -> code assignments.
+
+    Codes are small non-negative integers; :data:`BROADCAST_CODE` is reserved.
+    With ``reuse=False`` (the paper's base assumption) every station gets a
+    distinct code.  With reuse (distributed assignment) distinct stations may
+    share a code when no receiver can hear both.
+    """
+
+    def __init__(self) -> None:
+        self._code_of: Dict[int, int] = {}
+
+    def assign(self, station: int, code: int) -> None:
+        if code == BROADCAST_CODE:
+            raise ValueError("the broadcast code cannot be assigned to a station")
+        if code < 0:
+            raise ValueError(f"codes are non-negative ints, got {code}")
+        self._code_of[station] = code
+
+    def release(self, station: int) -> None:
+        self._code_of.pop(station, None)
+
+    def code_of(self, station: int) -> int:
+        """The receiver code of ``station`` (what you spread with to reach it)."""
+        try:
+            return self._code_of[station]
+        except KeyError:
+            raise KeyError(f"station {station} has no assigned code") from None
+
+    def has(self, station: int) -> bool:
+        return station in self._code_of
+
+    def stations(self) -> List[int]:
+        return list(self._code_of)
+
+    def next_free_code(self) -> int:
+        """Smallest non-negative code not currently in use."""
+        used = set(self._code_of.values())
+        c = 0
+        while c in used:
+            c += 1
+        return c
+
+    def conflicts(self, graph: ConnectivityGraph) -> List[tuple]:
+        """Pairs of same-coded stations that some third station hears both of.
+
+        A receiver-oriented assignment is safe iff no *receiver* is in range
+        of two stations owning the same code (it could not tell transmissions
+        addressed through that code apart).  Returns the offending
+        ``(station_a, station_b, hearer)`` triples; empty list == safe.
+        """
+        out = []
+        stations = [s for s in self._code_of if graph.has_node(s)]
+        for i, a in enumerate(stations):
+            for b in stations[i + 1:]:
+                if self._code_of[a] != self._code_of[b]:
+                    continue
+                for h in graph.node_ids:
+                    if h in (a, b):
+                        continue
+                    if graph.in_range(h, a) and graph.in_range(h, b):
+                        out.append((a, b, h))
+                        break
+        return out
+
+    def __len__(self) -> int:
+        return len(self._code_of)
+
+
+def assign_codes_sequential(stations: List[int]) -> CodeSpace:
+    """One globally unique code per station (paper's baseline assumption)."""
+    if len(set(stations)) != len(stations):
+        raise ValueError("duplicate station ids")
+    space = CodeSpace()
+    for i, s in enumerate(stations):
+        space.assign(s, i)
+    return space
+
+
+def assign_codes_distributed(graph: ConnectivityGraph,
+                             order: Optional[List[int]] = None) -> CodeSpace:
+    """Greedy two-hop colouring: reuse codes outside mutual-hearing range.
+
+    Station ``s`` must not share a code with any station that some common
+    hearer can also hear — i.e. with anything within two hops.  Greedy
+    smallest-available colouring over the square of the connectivity graph
+    satisfies that; the number of codes used is at most
+    ``max_two_hop_degree + 1``, typically far below N in sparse deployments.
+    """
+    space = CodeSpace()
+    nodes = list(order) if order is not None else sorted(graph.node_ids)
+    if set(nodes) != set(graph.node_ids):
+        raise ValueError("order must be a permutation of the graph's nodes")
+    for s in nodes:
+        two_hop = set()
+        for n1 in graph.neighbors(s):
+            two_hop.add(n1)
+            two_hop.update(graph.neighbors(n1))
+        two_hop.discard(s)
+        used = {space.code_of(t) for t in two_hop if space.has(t)}
+        c = 0
+        while c in used:
+            c += 1
+        space.assign(s, c)
+    return space

@@ -1,0 +1,145 @@
+"""2-D arena geometry and station placements.
+
+All placements return an ``(n, 2)`` float64 NumPy array of positions.
+Distance computations are vectorized (broadcasting, no Python loops) since
+connectivity recomputation under mobility is one of the few hot non-protocol
+paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "Arena",
+    "distance_matrix",
+    "pairwise_in_range",
+    "ring_placement",
+    "uniform_placement",
+    "grid_placement",
+    "clustered_placement",
+]
+
+
+@dataclass(frozen=True)
+class Arena:
+    """A rectangular indoor arena (meeting room, lounge, ...)."""
+
+    width: float = 100.0
+    height: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"arena dimensions must be positive: {self}")
+
+    def contains(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask of positions inside the arena (inclusive borders)."""
+        p = np.asarray(positions, dtype=float)
+        return ((p[..., 0] >= 0) & (p[..., 0] <= self.width)
+                & (p[..., 1] >= 0) & (p[..., 1] <= self.height))
+
+    def clip(self, positions: np.ndarray) -> np.ndarray:
+        """Positions clamped to the arena."""
+        p = np.asarray(positions, dtype=float)
+        out = np.empty_like(p)
+        np.clip(p[..., 0], 0.0, self.width, out=out[..., 0])
+        np.clip(p[..., 1], 0.0, self.height, out=out[..., 1])
+        return out
+
+    @property
+    def center(self) -> np.ndarray:
+        return np.array([self.width / 2.0, self.height / 2.0])
+
+    @property
+    def diagonal(self) -> float:
+        return math.hypot(self.width, self.height)
+
+
+def distance_matrix(positions: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` Euclidean distance matrix (vectorized)."""
+    p = np.asarray(positions, dtype=float)
+    if p.ndim != 2 or p.shape[1] != 2:
+        raise ValueError(f"positions must be (n, 2), got shape {p.shape}")
+    diff = p[:, None, :] - p[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+def pairwise_in_range(positions: np.ndarray, radio_range: float) -> np.ndarray:
+    """Boolean ``(n, n)`` adjacency of the unit-disk graph (diagonal False)."""
+    if radio_range <= 0:
+        raise ValueError(f"radio_range must be positive, got {radio_range!r}")
+    d = distance_matrix(positions)
+    adj = d <= radio_range
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+# ----------------------------------------------------------------------
+# placements
+# ----------------------------------------------------------------------
+def ring_placement(n: int, radius: float = 30.0, jitter: float = 0.0,
+                   center: Optional[np.ndarray] = None,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """``n`` stations evenly spaced on a circle, with optional radial jitter.
+
+    The canonical WRT-Ring scenario: each station is within range of its two
+    angular neighbours whenever ``radio_range >= 2*radius*sin(pi/n) + O(jitter)``.
+    """
+    if n < 1:
+        raise ValueError(f"need at least 1 station, got {n}")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius!r}")
+    if center is None:
+        center = np.array([radius * 1.5, radius * 1.5])
+    angles = 2.0 * np.pi * np.arange(n) / n
+    pos = np.stack([np.cos(angles), np.sin(angles)], axis=1) * radius + center
+    if jitter > 0:
+        if rng is None:
+            raise ValueError("jitter > 0 requires an rng")
+        pos = pos + rng.uniform(-jitter, jitter, size=(n, 2))
+    return pos
+
+
+def uniform_placement(n: int, arena: Arena,
+                      rng: np.random.Generator) -> np.ndarray:
+    """``n`` stations i.i.d. uniform over the arena."""
+    if n < 1:
+        raise ValueError(f"need at least 1 station, got {n}")
+    xs = rng.uniform(0.0, arena.width, size=n)
+    ys = rng.uniform(0.0, arena.height, size=n)
+    return np.stack([xs, ys], axis=1)
+
+
+def grid_placement(n: int, arena: Arena) -> np.ndarray:
+    """``n`` stations on a near-square grid filling the arena."""
+    if n < 1:
+        raise ValueError(f"need at least 1 station, got {n}")
+    cols = math.ceil(math.sqrt(n))
+    rows = math.ceil(n / cols)
+    xs = np.linspace(arena.width * 0.1, arena.width * 0.9, cols)
+    ys = np.linspace(arena.height * 0.1, arena.height * 0.9, rows)
+    gx, gy = np.meshgrid(xs, ys)
+    pts = np.stack([gx.ravel(), gy.ravel()], axis=1)
+    return pts[:n]
+
+
+def clustered_placement(n: int, arena: Arena, clusters: int,
+                        spread: float, rng: np.random.Generator) -> np.ndarray:
+    """Stations grouped around ``clusters`` uniformly placed centres.
+
+    Models e.g. conference attendees around tables; produces topologies where
+    a joining station may reach zero or one (not two consecutive) ring
+    stations — the rejection case of Sec. 2.4.1.
+    """
+    if clusters < 1:
+        raise ValueError(f"need at least 1 cluster, got {clusters}")
+    if spread <= 0:
+        raise ValueError(f"spread must be positive, got {spread!r}")
+    centres = uniform_placement(clusters, arena, rng)
+    idx = rng.integers(0, clusters, size=n)
+    offsets = rng.normal(0.0, spread, size=(n, 2))
+    return arena.clip(centres[idx] + offsets)

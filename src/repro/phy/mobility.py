@@ -1,0 +1,145 @@
+"""Indoor, low-mobility movement models.
+
+WRT-Ring (like TPT) targets "indoor scenarios in which terminals have low
+mobility and limited movement space".  Three models cover the evaluation
+needs:
+
+- :class:`StaticMobility` — stations never move (bound-validation runs);
+- :class:`JitterMobility` — each station wanders inside a small disc around
+  its home position (people shifting in their seats); occasionally breaks
+  marginal links, driving the recovery experiments;
+- :class:`RandomWaypointMobility` — bounded random waypoint for the join/leave
+  scenarios (an attendee walking across the room).
+
+A mobility model exposes ``positions`` (the live ``(n, 2)`` array) and
+``advance(dt, rng)`` which moves every station by ``dt`` time units.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.geometry import Arena
+
+__all__ = ["StaticMobility", "JitterMobility", "RandomWaypointMobility"]
+
+
+class StaticMobility:
+    """Stations pinned at their initial positions."""
+
+    def __init__(self, positions: np.ndarray):
+        self.positions = np.array(positions, dtype=float)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise ValueError(f"positions must be (n, 2), got {self.positions.shape}")
+
+    @property
+    def n(self) -> int:
+        return len(self.positions)
+
+    def advance(self, dt: float, rng: Optional[np.random.Generator] = None) -> None:
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt!r}")
+        # nothing moves
+
+
+class JitterMobility(StaticMobility):
+    """Random bounded wander around per-station home positions.
+
+    Each ``advance`` applies a Gaussian step of std ``speed*dt`` and then
+    projects back into the disc of radius ``wander_radius`` around home (and
+    into the arena, if given).
+    """
+
+    def __init__(self, positions: np.ndarray, wander_radius: float,
+                 speed: float = 1.0, arena: Optional[Arena] = None):
+        super().__init__(positions)
+        if wander_radius < 0:
+            raise ValueError(f"wander_radius must be >= 0, got {wander_radius!r}")
+        if speed < 0:
+            raise ValueError(f"speed must be >= 0, got {speed!r}")
+        self.home = self.positions.copy()
+        self.wander_radius = wander_radius
+        self.speed = speed
+        self.arena = arena
+
+    def advance(self, dt: float, rng: Optional[np.random.Generator] = None) -> None:
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt!r}")
+        if dt == 0 or self.speed == 0:
+            return
+        if rng is None:
+            raise ValueError("JitterMobility.advance requires an rng")
+        step = rng.normal(0.0, self.speed * dt, size=self.positions.shape)
+        self.positions += step
+        # project back into the wander disc around home
+        offset = self.positions - self.home
+        dist = np.linalg.norm(offset, axis=1)
+        too_far = dist > self.wander_radius
+        if too_far.any():
+            scale = np.ones_like(dist)
+            scale[too_far] = self.wander_radius / dist[too_far]
+            self.positions = self.home + offset * scale[:, None]
+        if self.arena is not None:
+            self.positions = self.arena.clip(self.positions)
+
+
+class RandomWaypointMobility(StaticMobility):
+    """Bounded random waypoint: pick a target in the arena, walk to it, repeat."""
+
+    def __init__(self, positions: np.ndarray, arena: Arena,
+                 speed: float, rng: np.random.Generator,
+                 pause: float = 0.0):
+        super().__init__(positions)
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed!r}")
+        if pause < 0:
+            raise ValueError(f"pause must be >= 0, got {pause!r}")
+        self.arena = arena
+        self.speed = speed
+        self.pause = pause
+        self._targets = self._draw_targets(rng)
+        self._pause_left = np.zeros(self.n)
+
+    def _draw_targets(self, rng: np.random.Generator) -> np.ndarray:
+        xs = rng.uniform(0.0, self.arena.width, size=self.n)
+        ys = rng.uniform(0.0, self.arena.height, size=self.n)
+        return np.stack([xs, ys], axis=1)
+
+    def advance(self, dt: float, rng: Optional[np.random.Generator] = None) -> None:
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt!r}")
+        if dt == 0:
+            return
+        if rng is None:
+            raise ValueError("RandomWaypointMobility.advance requires an rng")
+        budget = np.full(self.n, float(dt))
+        # consume pause time first
+        pausing = self._pause_left > 0
+        consumed = np.minimum(self._pause_left, budget)
+        self._pause_left -= consumed
+        budget -= consumed
+        for i in np.nonzero(budget > 1e-12)[0]:
+            self._walk_one(int(i), float(budget[i]), rng)
+
+    def _walk_one(self, i: int, time_left: float, rng: np.random.Generator) -> None:
+        while time_left > 1e-12:
+            to_target = self._targets[i] - self.positions[i]
+            dist = float(np.linalg.norm(to_target))
+            travel_time = dist / self.speed
+            if travel_time <= time_left:
+                self.positions[i] = self._targets[i]
+                time_left -= travel_time
+                # arrive: pause (absorbing leftover time), then new target
+                pause_used = min(self.pause, time_left)
+                time_left -= pause_used
+                self._pause_left[i] = self.pause - pause_used
+                self._targets[i] = np.array([
+                    rng.uniform(0.0, self.arena.width),
+                    rng.uniform(0.0, self.arena.height)])
+                if self._pause_left[i] > 0:
+                    return
+            else:
+                self.positions[i] += to_target / dist * self.speed * time_left
+                return

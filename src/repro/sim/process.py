@@ -1,0 +1,247 @@
+"""Generator-based processes and one-shot signals.
+
+A :class:`Process` wraps a Python generator.  The generator models a thread
+of protocol behaviour (a station's join procedure, a traffic source, ...) and
+cooperatively yields *waitables*:
+
+``yield Timeout(d)``
+    resume ``d`` time units later (the yield expression evaluates to ``None``).
+
+``yield signal`` (a :class:`Signal`)
+    resume when the signal succeeds; the yield evaluates to the signal's value.
+    If the signal fails, the exception is thrown into the generator.
+
+``yield process`` (another :class:`Process`)
+    resume when that process terminates; the yield evaluates to its return
+    value.  If it raised, the exception propagates.
+
+Processes can be interrupted (:meth:`Process.interrupt`), which throws
+:class:`Interrupt` into the generator at its current suspension point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.engine import Engine, EventHandle, SimulationError
+
+__all__ = ["Process", "Signal", "Timeout", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout:
+    """Waitable requesting resumption after ``delay`` time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay!r}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Timeout({self.delay})"
+
+
+class Signal:
+    """A one-shot synchronization primitive (SimPy's ``Event``).
+
+    A signal starts *pending*; it can :meth:`succeed` with a value or
+    :meth:`fail` with an exception exactly once.  Processes that yield a
+    pending signal are suspended until it triggers; yielding an
+    already-triggered signal resumes on the next event-loop iteration (never
+    synchronously), keeping control flow uniform.
+    """
+
+    __slots__ = ("engine", "name", "_value", "_exc", "_triggered", "_waiters", "_callbacks")
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._waiters: list[Process] = []
+        self._callbacks: list[Callable[["Signal"], None]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True once the signal has succeeded (False while pending or failed)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"signal {self.name!r} has not triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Signal":
+        if self._triggered:
+            raise SimulationError(f"signal {self.name!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "Signal":
+        if self._triggered:
+            raise SimulationError(f"signal {self.name!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() expects an exception, got {exc!r}")
+        self._triggered = True
+        self._exc = exc
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        callbacks, self._callbacks = self._callbacks, []
+        for proc in waiters:
+            self.engine.schedule(0.0, proc._resume_from_signal, self)
+        for cb in callbacks:
+            self.engine.schedule(0.0, cb, self)
+
+    # ------------------------------------------------------------------
+    def add_callback(self, cb: Callable[["Signal"], None]) -> None:
+        """Run ``cb(signal)`` when the signal triggers (immediately scheduled
+        if it already has)."""
+        if self._triggered:
+            self.engine.schedule(0.0, cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._triggered:
+            self.engine.schedule(0.0, proc._resume_from_signal, self)
+        else:
+            self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "pending" if not self._triggered else ("failed" if self._exc else "ok")
+        return f"<Signal {self.name!r} {state}>"
+
+
+class Process:
+    """A running generator, driven by the engine.
+
+    Create with ``Process(engine, gen, name=...)``; the first step is
+    scheduled immediately (at the current time).  The process's termination is
+    itself a :class:`Signal` (:attr:`done`), so processes can be yielded on
+    and composed.
+    """
+
+    def __init__(self, engine: Engine, gen: Generator[Any, Any, Any], name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"Process expects a generator, got {gen!r}")
+        self.engine = engine
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self.done = Signal(engine, name=f"{self.name}.done")
+        self._pending_timeout: Optional[EventHandle] = None
+        self._waiting_on: Optional[Signal] = None
+        self._alive = True
+        engine.schedule(0.0, self._step, ("send", None))
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator (raises if it raised / still alive)."""
+        return self.done.value
+
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its suspension point."""
+        if not self._alive:
+            return
+        self._detach()
+        self.engine.schedule(0.0, self._step, ("throw", Interrupt(cause)))
+
+    def _detach(self) -> None:
+        """Withdraw from whatever the process is currently waiting on."""
+        if self._pending_timeout is not None:
+            self._pending_timeout.cancel()
+            self._pending_timeout = None
+        if self._waiting_on is not None:
+            try:
+                self._waiting_on._waiters.remove(self)
+            except ValueError:
+                pass
+            self._waiting_on = None
+
+    # ------------------------------------------------------------------
+    def _resume_from_signal(self, sig: Signal) -> None:
+        if not self._alive:
+            return
+        self._waiting_on = None
+        if sig._exc is not None:
+            self._step(("throw", sig._exc))
+        else:
+            self._step(("send", sig._value))
+
+    def _resume_from_timeout(self) -> None:
+        self._pending_timeout = None
+        self._step(("send", None))
+
+    def _step(self, action: tuple) -> None:
+        if not self._alive:
+            return
+        kind, payload = action
+        try:
+            if kind == "send":
+                target = self._gen.send(payload)
+            else:
+                target = self._gen.throw(payload)
+        except StopIteration as stop:
+            self._alive = False
+            self.done.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled Interrupt terminates the process quietly with the
+            # cause as its result: interruption is a normal control-flow path
+            # for protocol timers.
+            self._alive = False
+            self.done.succeed(exc.cause)
+            return
+        except BaseException as exc:
+            self._alive = False
+            self.done.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Timeout):
+            self._pending_timeout = self.engine.schedule(
+                target.delay, self._resume_from_timeout)
+        elif isinstance(target, Process):
+            self._waiting_on = target.done
+            target.done._add_waiter(self)
+        elif isinstance(target, Signal):
+            self._waiting_on = target
+            target._add_waiter(self)
+        else:
+            exc = SimulationError(
+                f"process {self.name!r} yielded unsupported value {target!r}")
+            self._alive = False
+            self.done.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Process {self.name!r} {'alive' if self._alive else 'done'}>"

@@ -1,0 +1,169 @@
+"""Structured event tracing.
+
+Protocol debugging and several experiments (e.g. measuring SAT rotation
+samples, counting link crossings per control-signal round, timing recovery
+procedures) need a cheap, queryable record of what happened and when.
+
+:class:`TraceRecorder` stores :class:`TraceEvent` records and supports
+category filtering at record time (so hot loops pay ~one dict lookup for
+disabled categories) and simple querying.  :class:`NullTraceRecorder` is a
+zero-cost stand-in for production-speed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "TraceRecorder", "NullTraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded fact: ``time``, ``category`` and free-form ``fields``."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """Append-only in-memory trace with per-category enable switches.
+
+    By default every category is enabled.  ``enable_only(...)`` restricts
+    recording to the listed categories; ``disable(...)`` turns categories off
+    individually.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.events: List[TraceEvent] = []
+        self._globally_enabled = enabled
+        self._category_enabled: Dict[str, bool] = {}
+        self._default_enabled = True
+        self.counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def enable_only(self, categories: Iterable[str]) -> None:
+        self._default_enabled = False
+        self._category_enabled = {c: True for c in categories}
+
+    def disable(self, *categories: str) -> None:
+        for c in categories:
+            self._category_enabled[c] = False
+
+    def enable(self, *categories: str) -> None:
+        for c in categories:
+            self._category_enabled[c] = True
+
+    def is_enabled(self, category: str) -> bool:
+        if not self._globally_enabled:
+            return False
+        return self._category_enabled.get(category, self._default_enabled)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, time: float, category: str, **fields: Any) -> None:
+        if not self.is_enabled(category):
+            return
+        self.events.append(TraceEvent(time, category, fields))
+        self.counts[category] = self.counts.get(category, 0) + 1
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def select(self, category: Optional[str] = None,
+               predicate: Optional[Callable[[TraceEvent], bool]] = None,
+               since: float = float("-inf"),
+               until: float = float("inf")) -> List[TraceEvent]:
+        """Events matching all given filters, in record order."""
+        out = []
+        for ev in self.events:
+            if category is not None and ev.category != category:
+                continue
+            if not (since <= ev.time <= until):
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, category: str) -> int:
+        return self.counts.get(category, 0)
+
+    def times(self, category: str) -> List[float]:
+        return [ev.time for ev in self.events if ev.category == category]
+
+    def last(self, category: str) -> Optional[TraceEvent]:
+        for ev in reversed(self.events):
+            if ev.category == category:
+                return ev
+        return None
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.counts.clear()
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path) -> int:
+        """Write one JSON object per event; returns the event count.
+
+        Fields that are not JSON-serializable are stringified, so traces of
+        arbitrary protocol state can always be exported for offline
+        analysis.
+        """
+        import json
+        from pathlib import Path
+
+        def default(value):
+            return str(value)
+
+        with Path(path).open("w") as fh:
+            for ev in self.events:
+                fh.write(json.dumps({"time": ev.time, "category": ev.category,
+                                     **ev.fields}, default=default) + "\n")
+        return len(self.events)
+
+    @staticmethod
+    def from_jsonl(path) -> "TraceRecorder":
+        """Reload a trace exported with :meth:`to_jsonl`."""
+        import json
+        from pathlib import Path
+
+        recorder = TraceRecorder()
+        with Path(path).open() as fh:
+            for line in fh:
+                data = json.loads(line)
+                time = data.pop("time")
+                category = data.pop("category")
+                recorder.record(time, category, **data)
+        return recorder
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+class NullTraceRecorder(TraceRecorder):
+    """Recorder that drops everything; safe to pass anywhere a recorder goes."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def record(self, time: float, category: str, **fields: Any) -> None:  # noqa: D102
+        return None
+
+    def is_enabled(self, category: str) -> bool:  # noqa: D102
+        return False

@@ -1,0 +1,36 @@
+"""Traffic substrate: flows, arrival-process generators and workload builders.
+
+The paper motivates WRT-Ring with "applications with QoS requirements"
+(multimedia) alongside generic traffic; this subpackage provides the
+synthetic equivalents used by the experiments:
+
+- :mod:`repro.traffic.flows` — flow descriptors binding a source/destination
+  pair, a service class and a relative deadline;
+- :mod:`repro.traffic.generators` — CBR, Poisson, on-off (MMPP-2),
+  GoP-patterned video sources and a saturating backlog source;
+- :mod:`repro.traffic.workload` — attach a set of flows to a network and
+  account for offered load.
+"""
+
+from repro.traffic.flows import FlowSpec
+from repro.traffic.generators import (
+    CBRSource,
+    PoissonSource,
+    OnOffSource,
+    VideoSource,
+    TraceSource,
+    BacklogSource,
+)
+from repro.traffic.workload import Workload, uniform_destinations
+
+__all__ = [
+    "FlowSpec",
+    "CBRSource",
+    "PoissonSource",
+    "OnOffSource",
+    "VideoSource",
+    "TraceSource",
+    "BacklogSource",
+    "Workload",
+    "uniform_destinations",
+]

@@ -1,0 +1,44 @@
+"""Flow descriptors.
+
+A :class:`FlowSpec` names one application-level stream: its endpoints, its
+service class and, for real-time flows, the relative delivery deadline
+attached to every packet.  Generators consume a spec and stamp packets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.packet import Packet, ServiceClass
+
+__all__ = ["FlowSpec"]
+
+_flow_ids = itertools.count()
+
+
+@dataclass
+class FlowSpec:
+    """One unidirectional application flow."""
+
+    src: int
+    dst: int
+    service: ServiceClass = ServiceClass.BEST_EFFORT
+    deadline: Optional[float] = None   # relative, in slots; None = no deadline
+    flow_id: int = field(default_factory=lambda: next(_flow_ids))
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"flow src == dst == {self.src}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"relative deadline must be positive, got {self.deadline!r}")
+        if self.deadline is not None and self.service is ServiceClass.BEST_EFFORT:
+            raise ValueError("best-effort flows cannot carry deadlines "
+                             "(the paper's generic traffic has no timing constraints)")
+
+    def make_packet(self, now: float) -> Packet:
+        """Stamp a packet of this flow created at ``now``."""
+        deadline = None if self.deadline is None else now + self.deadline
+        return Packet(src=self.src, dst=self.dst, service=self.service,
+                      created=now, deadline=deadline, flow_id=self.flow_id)

@@ -1,0 +1,201 @@
+"""Unit + property tests for the closed-form bounds (Sec. 2.6, Eq. 7)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    access_delay_bound,
+    mean_sat_rotation_bound,
+    recovery_detection_bounds,
+    sat_multi_round_bound,
+    sat_multi_round_bound_homogeneous,
+    sat_rotation_bound,
+    sat_rotation_bound_homogeneous,
+    sat_walk_time,
+    tpt_allocation_feasible,
+    tpt_max_token_rotation,
+    tpt_token_walk_time,
+)
+from repro.core import QuotaConfig
+
+
+class TestTheorem1Form:
+    def test_formula(self):
+        # S + T_rap + 2*sum(l+k)
+        assert sat_rotation_bound(5, 9, [(2, 1)] * 5) == 5 + 9 + 2 * 15
+
+    def test_accepts_quota_objects(self):
+        quotas = [QuotaConfig.two_class(2, 1)] * 4
+        assert sat_rotation_bound(4, 0, quotas) == 4 + 2 * 12
+
+    def test_homogeneous_matches_general(self):
+        assert (sat_rotation_bound_homogeneous(6, 2, 3)
+                == sat_rotation_bound(6, 0, [(2, 3)] * 6))
+
+    def test_homogeneous_default_S_is_N(self):
+        assert sat_rotation_bound_homogeneous(7, 1, 1) == 7 + 2 * 7 * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sat_rotation_bound(-1, 0, [(1, 1)])
+        with pytest.raises(ValueError):
+            sat_rotation_bound(1, -1, [(1, 1)])
+        with pytest.raises(ValueError):
+            sat_rotation_bound_homogeneous(0, 1, 1)
+
+
+class TestTheorem2Form:
+    def test_formula(self):
+        # n*S + n*T_rap + (n+1)*sum
+        assert sat_multi_round_bound(3, 5, 2, [(1, 1)] * 5) == 15 + 6 + 4 * 10
+
+    def test_n1_relation_to_theorem1(self):
+        """For n=1 Theorem 2 gives S + T_rap + 2Σ — the Theorem-1 value."""
+        t1 = sat_rotation_bound(6, 9, [(2, 2)] * 6)
+        t2 = sat_multi_round_bound(1, 6, 9, [(2, 2)] * 6)
+        assert t1 == t2
+
+    def test_homogeneous(self):
+        assert (sat_multi_round_bound_homogeneous(4, 5, 2, 1)
+                == 4 * 5 + 5 * 5 * 3)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            sat_multi_round_bound(0, 5, 0, [(1, 1)])
+
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=5),
+           st.integers(min_value=0, max_value=5))
+    def test_superadditive_in_n(self, n, N, l, k):
+        """bound(n) + bound(m) >= bound(n+m) - the windows overlap by one
+        quota term, so the bound family is consistent."""
+        quotas = [(l + 1, k)] * N
+        b1 = sat_multi_round_bound(n, N, 0, quotas)
+        b2 = sat_multi_round_bound(n + 1, N, 0, quotas)
+        assert b2 > b1  # strictly increasing in n
+
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=2, max_value=15))
+    def test_per_round_average_approaches_prop3(self, n, N):
+        """bound(n)/n decreases toward S + T_rap + Σ as n grows (the Prop. 3
+        limit argument)."""
+        quotas = [(2, 1)] * N
+        per_round = sat_multi_round_bound(n, N, 3, quotas) / n
+        limit = mean_sat_rotation_bound(N, 3, quotas)
+        assert per_round >= limit
+        assert per_round - limit == pytest.approx(sum(q[0] + q[1] for q in quotas) / n)
+
+
+class TestProposition3Form:
+    def test_formula(self):
+        assert mean_sat_rotation_bound(5, 9, [(2, 1)] * 5) == 5 + 9 + 15
+
+    def test_below_theorem1(self):
+        quotas = [(3, 2)] * 8
+        assert (mean_sat_rotation_bound(8, 0, quotas)
+                < sat_rotation_bound(8, 0, quotas))
+
+
+class TestTheorem3Form:
+    def test_round_count(self):
+        # x=0, l=2 -> ceil(1/2)+1 = 2 rounds
+        quotas = [(2, 1)] * 4
+        expected = sat_multi_round_bound(2, 4, 0, quotas)
+        assert access_delay_bound(0, 2, 4, 0, quotas) == expected
+
+    def test_backlog_steps(self):
+        quotas = [(2, 0)] * 3
+        # x=3, l=2 -> ceil(4/2)+1 = 3 rounds
+        assert (access_delay_bound(3, 2, 3, 0, quotas)
+                == sat_multi_round_bound(3, 3, 0, quotas))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            access_delay_bound(-1, 1, 3, 0, [(1, 0)])
+        with pytest.raises(ValueError):
+            access_delay_bound(0, 0, 3, 0, [(1, 0)])
+
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=1, max_value=10))
+    def test_monotone_in_backlog(self, x, l):
+        quotas = [(l, 1)] * 5
+        assert (access_delay_bound(x, l, 5, 0, quotas)
+                <= access_delay_bound(x + 1, l, 5, 0, quotas))
+
+    @given(st.integers(min_value=0, max_value=50),
+           st.integers(min_value=1, max_value=9))
+    def test_larger_own_quota_never_hurts_round_count(self, x, l):
+        r_small = math.ceil((x + 1) / l) + 1
+        r_large = math.ceil((x + 1) / (l + 1)) + 1
+        assert r_large <= r_small
+
+
+class TestWalkTimes:
+    def test_sat_walk(self):
+        assert sat_walk_time(10) == 10
+        assert sat_walk_time(10, T_proc_prop=2.0, T_rap=5) == 25
+
+    def test_token_walk(self):
+        assert tpt_token_walk_time(10) == 18
+        assert tpt_token_walk_time(10, T_proc_prop=2.0, T_rap=5) == 41
+
+    @given(st.integers(min_value=3, max_value=500),
+           st.floats(min_value=0.1, max_value=10, allow_nan=False))
+    def test_sat_always_faster_for_n_ge_3(self, n, hop):
+        """The Sec. 3.3 claim: N < 2(N-1) whenever N >= 3 (equality at N=2)."""
+        assert sat_walk_time(n, hop) < tpt_token_walk_time(n, hop)
+
+    def test_equal_at_n2(self):
+        assert sat_walk_time(2) == tpt_token_walk_time(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sat_walk_time(0)
+        with pytest.raises(ValueError):
+            tpt_token_walk_time(3, T_proc_prop=0)
+
+
+class TestEq7:
+    def test_feasible_case(self):
+        # sum H = 10, walk = 2*(5-1) = 8, T_rap = 2 -> lhs 20 <= D/2
+        assert tpt_allocation_feasible([2] * 5, 5, D=40, T_rap=2)
+        assert not tpt_allocation_feasible([2] * 5, 5, D=39.9, T_rap=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tpt_allocation_feasible([1, 2], 3, D=10)
+        with pytest.raises(ValueError):
+            tpt_allocation_feasible([-1, 2, 3], 3, D=10)
+        with pytest.raises(ValueError):
+            tpt_allocation_feasible([1, 2, 3], 3, D=0)
+
+    def test_max_rotation(self):
+        assert tpt_max_token_rotation(25.0) == 50.0
+        with pytest.raises(ValueError):
+            tpt_max_token_rotation(0.0)
+
+
+class TestRecoveryComparison:
+    def test_wrt_detects_faster_in_like_scenario(self):
+        """Sec. 3.3: equal reserved bandwidth -> SAT_TIME < 2·TTRT."""
+        N, l, k = 8, 2, 1
+        quotas = [(l, k)] * N
+        # same scenario: Σ H == Σ(l+k), TTRT feasible per Eq. 7 with D = 2·TTRT
+        sum_H = sum(l + k for l, k in quotas)
+        walk = tpt_token_walk_time(N)
+        ttrt = sum_H + walk  # minimum feasible TTRT
+        wrt, tpt = recovery_detection_bounds(N, 0, quotas, ttrt)
+        assert wrt < tpt
+
+    @given(st.integers(min_value=3, max_value=40),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=5))
+    def test_wrt_faster_for_all_sizes(self, N, l, k):
+        quotas = [(l, k)] * N
+        sum_H = N * (l + k)
+        ttrt = sum_H + tpt_token_walk_time(N)
+        wrt, tpt = recovery_detection_bounds(N, 0, quotas, ttrt)
+        assert wrt < tpt

@@ -1,0 +1,65 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import (ExperimentReport, combine_reports,
+                                   markdown_table)
+from repro.analysis.validation import check_rotation_samples
+
+
+class TestMarkdownTable:
+    def test_basic_shape(self):
+        table = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        table = markdown_table(["x"], [[1.23456]])
+        assert "1.235" in table
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            markdown_table([], [])
+        with pytest.raises(ValueError):
+            markdown_table(["a", "b"], [[1]])
+
+
+class TestExperimentReport:
+    def make(self, samples=(5.0, 6.0), bound=10.0):
+        report = ExperimentReport(
+            exp_id="E99", title="demo", paper_claim="rotation bounded")
+        report.add_table("measurements", ["n", "value"], [[1, 5.0], [2, 6.0]])
+        report.add_check(check_rotation_samples(list(samples), bound))
+        report.add_note("seeded, reproducible")
+        return report
+
+    def test_reproduced_verdict(self):
+        report = self.make()
+        md = report.to_markdown()
+        assert report.verdict == "REPRODUCED"
+        assert "## E99 — demo" in md
+        assert "**Paper claim.** rotation bounded" in md
+        assert "| n | value |" in md
+        assert "OK" in md
+        assert "Verdict: REPRODUCED" in md
+
+    def test_failed_verdict(self):
+        report = self.make(samples=(15.0,), bound=10.0)
+        assert report.verdict == "FAILED"
+        assert "VIOLATED" in report.to_markdown()
+
+    def test_measured_verdict_without_checks(self):
+        report = ExperimentReport(exp_id="E98", title="x", paper_claim="y")
+        assert report.verdict == "MEASURED"
+
+    def test_combine(self):
+        a = self.make()
+        b = ExperimentReport(exp_id="E98", title="other", paper_claim="z")
+        combined = combine_reports([a, b], header="# All experiments")
+        assert combined.startswith("# All experiments")
+        assert "| E99 | demo | REPRODUCED |" in combined
+        assert "| E98 | other | MEASURED |" in combined
+        assert combined.count("## ") == 2

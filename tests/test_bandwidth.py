@@ -1,0 +1,158 @@
+"""Tests for the quota-allocation schemes (the footnote-1 FDDI adaptation)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import access_delay_bound
+from repro.bandwidth import (AllocationProblem, StationDemand, allocate,
+                             equal_allocation, local_allocation,
+                             normalized_proportional_allocation,
+                             proportional_allocation, validate_allocation)
+
+
+def demands(rates, deadlines=None, k=1, backlogs=None):
+    deadlines = deadlines or [None] * len(rates)
+    backlogs = backlogs or [0] * len(rates)
+    return [StationDemand(sid=i, rt_rate=r, deadline=d, max_backlog=b, k=k)
+            for i, (r, d, b) in enumerate(zip(rates, deadlines, backlogs))]
+
+
+class TestProblemValidation:
+    def test_demand_validation(self):
+        with pytest.raises(ValueError):
+            StationDemand(sid=0, rt_rate=-0.1)
+        with pytest.raises(ValueError):
+            StationDemand(sid=0, rt_rate=0.1, deadline=0.0)
+        with pytest.raises(ValueError):
+            StationDemand(sid=0, rt_rate=0.1, max_backlog=-1)
+        with pytest.raises(ValueError):
+            StationDemand(sid=0, rt_rate=0.1, k=-1)
+
+    def test_problem_validation(self):
+        with pytest.raises(ValueError):
+            AllocationProblem(demands=[])
+        with pytest.raises(ValueError):
+            AllocationProblem(demands=[StationDemand(0, 0.1),
+                                       StationDemand(0, 0.1)])
+        with pytest.raises(ValueError):
+            AllocationProblem(demands=[StationDemand(0, 0.1)], t_rap=-1)
+
+    def test_validate_missing_station(self):
+        problem = AllocationProblem(demands=demands([0.01, 0.01]))
+        with pytest.raises(ValueError):
+            validate_allocation(problem, {0: 1})
+
+
+class TestEqual:
+    def test_generous_equal_is_feasible_for_light_load(self):
+        problem = AllocationProblem(demands=demands([0.01] * 5))
+        result = equal_allocation(problem, l=2)
+        assert result.feasible
+
+    def test_equal_fails_tight_deadline(self):
+        # heavy backlog at one station: l=1 cannot drain it in time
+        problem = AllocationProblem(demands=demands(
+            [0.01] * 5, deadlines=[60.0] + [None] * 4,
+            backlogs=[8] + [0] * 4))
+        result = equal_allocation(problem, l=1)
+        assert not result.feasible
+        assert any("deadline" in v for v in result.violations)
+
+    def test_rate_with_zero_l_flagged(self):
+        problem = AllocationProblem(demands=demands([0.1, 0.0]))
+        result = equal_allocation(problem, l=0)
+        assert not result.feasible
+
+
+class TestProportional:
+    def test_rates_sustained(self):
+        problem = AllocationProblem(demands=demands([0.05, 0.1, 0.02]))
+        result = proportional_allocation(problem)
+        assert result.feasible, result.violations
+        # higher-rate stations get at least as much quota
+        assert result.l[1] >= result.l[0] >= result.l[2]
+
+    def test_zero_rate_station_gets_zero(self):
+        problem = AllocationProblem(demands=demands([0.05, 0.0]))
+        result = proportional_allocation(problem)
+        assert result.l[1] == 0
+
+    def test_overload_reported_infeasible(self):
+        problem = AllocationProblem(demands=demands([0.5, 0.4, 0.3]))
+        result = proportional_allocation(problem)
+        assert not result.feasible
+        assert "demand" in result.violations[0]
+
+
+class TestNormalizedProportional:
+    def test_meets_deadlines_when_pool_sufficient(self):
+        problem = AllocationProblem(demands=demands(
+            [0.02, 0.03, 0.02], deadlines=[800.0, 800.0, 800.0]))
+        result = normalized_proportional_allocation(problem)
+        assert result.feasible, result.violations
+
+    def test_falls_back_to_proportional_without_deadlines(self):
+        problem = AllocationProblem(demands=demands([0.05, 0.05]))
+        assert (normalized_proportional_allocation(problem).l
+                == proportional_allocation(problem).l)
+
+
+class TestLocal:
+    def test_meets_every_deadline(self):
+        problem = AllocationProblem(demands=demands(
+            [0.02, 0.05, 0.01],
+            deadlines=[900.0, 700.0, 1200.0],
+            backlogs=[3, 5, 1]))
+        result = local_allocation(problem)
+        assert result.feasible, result.violations
+        quotas = [(result.l[d.sid], d.k) for d in problem.demands]
+        for d in problem.demands:
+            worst = access_delay_bound(d.max_backlog, result.l[d.sid],
+                                       problem.S, problem.t_rap, quotas)
+            assert worst <= d.deadline
+
+    def test_infeasible_deadline_reported(self):
+        problem = AllocationProblem(demands=demands(
+            [0.01] * 3, deadlines=[5.0, None, None]))
+        result = local_allocation(problem)
+        assert not result.feasible
+
+    def test_local_admits_sets_equal_rejects(self):
+        """The headline E15 shape: deadline-aware local allocation finds a
+        feasible quota map where the naive equal split does not."""
+        problem = AllocationProblem(demands=demands(
+            [0.08, 0.01, 0.01, 0.01],
+            deadlines=[110.0, None, None, None],
+            backlogs=[12, 0, 0, 0]))
+        local = local_allocation(problem)
+        assert local.feasible, local.violations
+        # giving everyone the backlog-draining quota inflates Σ(l+k) past
+        # the deadline; no uniform l works
+        assert all(not equal_allocation(problem, l=l).feasible
+                   for l in range(1, 9))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=0.05), min_size=2,
+                    max_size=10),
+           st.integers(min_value=200, max_value=5000))
+    def test_property_feasible_results_validate(self, rates, d):
+        deadlines = [float(d) if r > 0 else None for r in rates]
+        problem = AllocationProblem(demands=demands(rates, deadlines=deadlines))
+        result = local_allocation(problem)
+        if result.feasible:
+            check = validate_allocation(problem, result.l)
+            assert check.feasible
+
+
+class TestDispatch:
+    def test_allocate_by_name(self):
+        problem = AllocationProblem(demands=demands([0.01, 0.01]))
+        for scheme in ("equal", "proportional", "normalized_proportional",
+                       "local"):
+            result = allocate(problem, scheme=scheme)
+            assert result.scheme == scheme
+
+    def test_unknown_scheme(self):
+        problem = AllocationProblem(demands=demands([0.01]))
+        with pytest.raises(ValueError):
+            allocate(problem, scheme="magic")

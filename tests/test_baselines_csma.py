@@ -1,0 +1,157 @@
+"""Tests for the CSMA/CA contention baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines import CSMAConfig, CSMANetwork
+from repro.core import Packet, ServiceClass
+from repro.sim import Engine
+
+
+def make_net(n=6, seed=0, **cfg_kwargs):
+    engine = Engine()
+    cfg = CSMAConfig(**cfg_kwargs)
+    net = CSMANetwork(engine, list(range(n)), config=cfg,
+                      rng=random.Random(seed))
+    return engine, net
+
+
+def saturate(net, rng_seed=0, rt=5, be=5):
+    rng = random.Random(rng_seed)
+
+    def top(t):
+        for sid, st in net.stations.items():
+            while len(st.rt_queue) < rt:
+                dst = rng.choice([d for d in net.members if d != sid])
+                st.enqueue(Packet(src=sid, dst=dst,
+                                  service=ServiceClass.PREMIUM, created=t), t)
+            while len(st.be_queue) < be:
+                dst = rng.choice([d for d in net.members if d != sid])
+                st.enqueue(Packet(src=sid, dst=dst,
+                                  service=ServiceClass.BEST_EFFORT,
+                                  created=t), t)
+    net.add_tick_hook(top)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSMAConfig(cw_min_rt=0)
+        with pytest.raises(ValueError):
+            CSMAConfig(cw_max=4, cw_min_be=16)
+        with pytest.raises(ValueError):
+            CSMAConfig(retry_limit=0)
+
+    def test_network_validation(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            CSMANetwork(engine, [0])
+        with pytest.raises(ValueError):
+            CSMANetwork(engine, [0, 0])
+
+
+class TestSingleStationBehaviour:
+    def test_lone_sender_delivers_without_collisions(self):
+        engine, net = make_net(2)
+        net.start()
+        engine.run(until=5)
+        t0 = engine.now
+        p = Packet(src=0, dst=1, service=ServiceClass.PREMIUM, created=t0)
+        net.enqueue(p)
+        engine.run(until=t0 + 50)
+        assert p.delivered
+        assert net.collision_slots == 0
+
+    def test_backoff_delays_transmission(self):
+        engine, net = make_net(2, cw_min_rt=8)
+        net.start()
+        engine.run(until=5)
+        t0 = engine.now
+        p = Packet(src=0, dst=1, service=ServiceClass.PREMIUM, created=t0)
+        net.enqueue(p)
+        engine.run(until=t0 + 50)
+        # initial backoff in [0, 8): at most 8 slots of access delay
+        assert 0 <= p.access_delay < 9
+
+    def test_rt_priority_statistical(self):
+        """Smaller window: RT wins the channel more often than BE."""
+        engine, net = make_net(6, cw_min_rt=4, cw_min_be=64)
+        saturate(net)
+        net.start()
+        engine.run(until=5000)
+        rt = sum(st.sent[ServiceClass.PREMIUM]
+                 for st in net.stations.values())
+        be = sum(st.sent[ServiceClass.BEST_EFFORT]
+                 for st in net.stations.values())
+        assert rt > 2 * be
+
+    def test_unknown_station_rejected(self):
+        engine, net = make_net(3)
+        with pytest.raises(KeyError):
+            net.enqueue(Packet(src=9, dst=0, service=ServiceClass.PREMIUM,
+                               created=0.0))
+
+
+class TestContention:
+    def test_collisions_happen_under_contention(self):
+        engine, net = make_net(8)
+        saturate(net)
+        net.start()
+        engine.run(until=4000)
+        assert net.collision_slots > 0
+        assert net.metrics.total_delivered > 0
+        assert 0 < net.collision_fraction < 1
+
+    def test_collision_fraction_grows_with_n(self):
+        """The paper's intro claim against [3], measured."""
+        fractions = []
+        for n in (4, 8, 16, 32):
+            engine, net = make_net(n, seed=n)
+            saturate(net, rng_seed=n)
+            net.start()
+            engine.run(until=6000)
+            fractions.append(net.collision_fraction)
+        assert fractions[-1] > fractions[0]
+        assert fractions[-1] > 0.1
+
+    def test_retry_limit_drops(self):
+        engine, net = make_net(16, retry_limit=1, cw_min_rt=4,
+                               cw_min_be=8, cw_max=8)
+        saturate(net)
+        net.start()
+        engine.run(until=4000)
+        assert net.dropped_retry > 0
+        assert net.metrics.lost >= net.dropped_retry
+
+    def test_no_delay_guarantee_under_load(self):
+        """Unlike WRT-Ring, deadline misses appear under contention."""
+        engine, net = make_net(12, seed=3)
+        rng = random.Random(3)
+
+        def top(t):
+            for sid, st in net.stations.items():
+                while len(st.rt_queue) < 5:
+                    dst = rng.choice([d for d in net.members if d != sid])
+                    st.enqueue(Packet(src=sid, dst=dst,
+                                      service=ServiceClass.PREMIUM,
+                                      created=t, deadline=t + 60), t)
+        net.add_tick_hook(top)
+        net.start()
+        engine.run(until=6000)
+        assert net.metrics.deadlines.missed > 0
+
+    def test_throughput_capped_by_single_channel(self):
+        engine, net = make_net(8)
+        saturate(net)
+        net.start()
+        engine.run(until=5000)
+        assert net.metrics.total_delivered <= 5000
+
+    def test_slot_accounting_consistent(self):
+        engine, net = make_net(6)
+        saturate(net)
+        net.start()
+        engine.run(until=1000)
+        total = net.idle_slots + net.busy_slots
+        assert total >= 1000  # one classification per tick

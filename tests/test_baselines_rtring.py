@@ -1,0 +1,69 @@
+"""Tests for the wired RT-Ring reference baseline."""
+
+import pytest
+
+from repro.baselines import RTRingNetwork
+from repro.core import Packet, QuotaConfig, ServiceClass
+from repro.sim import Engine
+
+
+def make_rtring(n=5, l=2, k=1):
+    engine = Engine()
+    quotas = {i: QuotaConfig.two_class(l, k) for i in range(n)}
+    net = RTRingNetwork(engine, list(range(n)), quotas)
+    return engine, net
+
+
+class TestRTRing:
+    def test_no_rap_ever(self):
+        engine, net = make_rtring()
+        net.start()
+        engine.run(until=2000)
+        assert net.join_manager.raps_opened == 0
+        assert net.config.effective_t_rap() == 0
+
+    def test_idle_rotation_is_exactly_S(self):
+        engine, net = make_rtring(7)
+        net.start()
+        engine.run(until=200)
+        assert net.rotation_log.all_samples()[-1] == 7.0
+
+    def test_bound_excludes_t_rap(self):
+        engine, net = make_rtring(5, l=2, k=1)
+        assert net.sat_time_bound() == 5 + 2 * 5 * 3  # no T_rap term
+
+    def test_wrt_bound_exceeds_rtring_bound_by_t_rap(self):
+        """The wireless overhead is exactly the RAP term."""
+        from repro.core import WRTRingConfig, WRTRingNetwork
+        engine, rt = make_rtring(5, l=2, k=1)
+        engine2 = Engine()
+        cfg = WRTRingConfig.homogeneous(range(5), l=2, k=1, rap_enabled=True,
+                                        t_ear=6, t_update=3)
+        wrt = WRTRingNetwork(engine2, list(range(5)), cfg)
+        assert wrt.sat_time_bound() - rt.sat_time_bound() == 9
+
+    def test_carries_traffic(self):
+        engine, net = make_rtring()
+        net.start()
+        engine.run(until=20)
+        t0 = engine.now
+        p = Packet(src=0, dst=3, service=ServiceClass.PREMIUM, created=t0)
+        net.enqueue(p)
+        engine.run(until=t0 + 100)
+        assert p.delivered
+
+    def test_insert_station_forbidden(self):
+        engine, net = make_rtring()
+        with pytest.raises(NotImplementedError):
+            net.insert_station(99, after=0, quota=QuotaConfig.two_class(1, 1))
+
+    def test_cutout_recovery_always_geometrically_possible(self):
+        """A wire has no radio range: the SAT_REC skip-hop always works."""
+        engine, net = make_rtring(6)
+        net.start()
+        engine.run(until=25)
+        net.kill_station(3)
+        engine.run(until=500)
+        [rec] = net.recovery.records
+        assert rec.outcome == "cutout"
+        assert 3 not in net.members

@@ -1,0 +1,65 @@
+"""Unit tests for the timed-token rules and TTRT selection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines import TimedTokenRules, choose_ttrt
+
+
+class TestRules:
+    def test_sync_budget_is_allocation(self):
+        rules = TimedTokenRules(ttrt=50.0)
+        assert rules.sync_budget(7.0) == 7.0
+        with pytest.raises(ValueError):
+            rules.sync_budget(-1.0)
+
+    def test_async_budget_early_token(self):
+        rules = TimedTokenRules(ttrt=50.0)
+        assert rules.async_budget(30.0) == 20.0
+
+    def test_async_budget_late_token_zero(self):
+        rules = TimedTokenRules(ttrt=50.0)
+        assert rules.async_budget(50.0) == 0.0
+        assert rules.async_budget(80.0) == 0.0
+        with pytest.raises(ValueError):
+            rules.async_budget(-1.0)
+
+    def test_feasibility(self):
+        rules = TimedTokenRules(ttrt=50.0)
+        assert rules.feasible([10, 10, 10], walk_time=20.0)
+        assert not rules.feasible([10, 10, 11], walk_time=20.0)
+        with pytest.raises(ValueError):
+            rules.feasible([1], walk_time=-1.0)
+
+    def test_max_rotation(self):
+        assert TimedTokenRules(ttrt=25.0).max_rotation == 50.0
+
+    def test_invalid_ttrt(self):
+        with pytest.raises(ValueError):
+            TimedTokenRules(ttrt=0.0)
+
+
+class TestChooseTTRT:
+    def test_minimum_feasible(self):
+        ttrt = choose_ttrt([5, 5], walk_time=10.0)
+        assert ttrt == 20.0
+        assert TimedTokenRules(ttrt).feasible([5, 5], 10.0)
+
+    def test_margin(self):
+        assert choose_ttrt([5, 5], walk_time=10.0, margin=1.5) == 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_ttrt([5], walk_time=10.0, margin=0.5)
+        with pytest.raises(ValueError):
+            choose_ttrt([5], walk_time=0.0)
+        with pytest.raises(ValueError):
+            choose_ttrt([-1], walk_time=10.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                    max_size=20),
+           st.floats(min_value=1.0, max_value=100.0),
+           st.floats(min_value=1.0, max_value=3.0))
+    def test_always_feasible(self, H, walk, margin):
+        ttrt = choose_ttrt(H, walk, margin)
+        assert TimedTokenRules(ttrt).feasible(H, walk)

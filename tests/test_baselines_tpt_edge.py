@@ -1,0 +1,180 @@
+"""Edge cases of the timed-token behaviour in TPT."""
+
+import pytest
+
+from repro.baselines import TPTConfig, TPTNetwork, choose_ttrt
+from repro.baselines.tpt.station import TPTStation
+from repro.core import Packet, ServiceClass
+from repro.sim import Engine
+
+
+def star(n):
+    children = {i: [] for i in range(n)}
+    children[0] = list(range(1, n))
+    return children
+
+
+class TestStationBudgets:
+    def test_grant_budgets_first_visit(self):
+        st = TPTStation(0, H=3)
+        trt = st.grant_budgets(10.0, ttrt=50.0)
+        assert trt is None                      # very first visit
+        assert st.sync_budget == 3
+        assert st.async_budget == 0             # no TRT measurement yet
+
+    def test_early_token_grants_async(self):
+        st = TPTStation(0, H=2)
+        st.grant_budgets(10.0, ttrt=50.0)
+        trt = st.grant_budgets(40.0, ttrt=50.0)
+        assert trt == 30.0
+        assert st.async_budget == 20            # TTRT - TRT
+
+    def test_late_token_no_async(self):
+        st = TPTStation(0, H=2)
+        st.grant_budgets(10.0, ttrt=50.0)
+        st.grant_budgets(70.0, ttrt=50.0)       # TRT = 60 > TTRT
+        assert st.async_budget == 0
+        assert st.sync_budget == 2              # sync unconditional
+
+    def test_zero_H_station_sends_only_async(self):
+        st = TPTStation(0, H=0)
+        st.grant_budgets(0.0, ttrt=50.0)
+        st.grant_budgets(10.0, ttrt=50.0)
+        st.enqueue(Packet(src=0, dst=1, service=ServiceClass.PREMIUM,
+                          created=0.0), 0.0)
+        st.enqueue(Packet(src=0, dst=1, service=ServiceClass.BEST_EFFORT,
+                          created=0.0), 0.0)
+        # RT has no sync budget; async (BE) flows
+        p = st.select_packet()
+        assert p.service is ServiceClass.BEST_EFFORT
+        assert st.rt_queue            # premium stuck without allocation
+
+    def test_select_respects_budgets(self):
+        st = TPTStation(0, H=1)
+        st.grant_budgets(0.0, ttrt=50.0)
+        st.grant_budgets(10.0, ttrt=12.0)   # async budget = 2
+        for _ in range(3):
+            st.enqueue(Packet(src=0, dst=1, service=ServiceClass.PREMIUM,
+                              created=0.0), 0.0)
+            st.enqueue(Packet(src=0, dst=1,
+                              service=ServiceClass.BEST_EFFORT,
+                              created=0.0), 0.0)
+        sent = []
+        while True:
+            p = st.select_packet()
+            if p is None:
+                break
+            sent.append(p.service)
+        assert sent == [ServiceClass.PREMIUM,
+                        ServiceClass.BEST_EFFORT, ServiceClass.BEST_EFFORT]
+
+    def test_negative_H_rejected(self):
+        with pytest.raises(ValueError):
+            TPTStation(0, H=-1)
+
+    def test_wrong_source_rejected(self):
+        st = TPTStation(5, H=1)
+        with pytest.raises(ValueError):
+            st.enqueue(Packet(src=0, dst=1, service=ServiceClass.PREMIUM,
+                              created=0.0), 0.0)
+
+
+class TestAsymmetricAllocations:
+    def test_heterogeneous_H_respected(self):
+        """Station allocations differ: each sends at most H_i sync/round."""
+        engine = Engine()
+        n = 4
+        H = {0: 1, 1: 4, 2: 0, 3: 2}
+        ttrt = choose_ttrt(list(H.values()), 2 * (n - 1), margin=2.0)
+        net = TPTNetwork(engine, star(n), root=0,
+                         config=TPTConfig(H=H, ttrt=ttrt))
+        import random
+        rng = random.Random(0)
+
+        def top(t):
+            for sid, st in net.stations.items():
+                while len(st.rt_queue) < 10:
+                    dst = rng.choice([d for d in net.members if d != sid])
+                    st.enqueue(Packet(src=sid, dst=dst,
+                                      service=ServiceClass.PREMIUM,
+                                      created=t), t)
+        net.add_tick_hook(top)
+        net.start()
+        engine.run(until=4000)
+        for sid, st in net.stations.items():
+            assert st.sent[ServiceClass.PREMIUM] <= st.token_visits * H[sid]
+        # station 2 (H=0) sent no sync at all
+        assert net.stations[2].sent[ServiceClass.PREMIUM] == 0
+        # rotation bound still holds
+        assert net.rotation_log.worst() <= 2 * ttrt
+
+    def test_rotation_tracks_actual_allocation_usage(self):
+        """Idle stations don't consume their allocation: rotation stays near
+        the walk time when queues are empty, regardless of Σ H."""
+        engine = Engine()
+        n = 5
+        H = {i: 10 for i in range(n)}
+        ttrt = choose_ttrt([10] * n, 2 * (n - 1), margin=1.2)
+        net = TPTNetwork(engine, star(n), root=0,
+                         config=TPTConfig(H=H, ttrt=ttrt))
+        net.start()
+        engine.run(until=2000)
+        assert net.rotation_log.all_samples()[-1] == 2 * (n - 1)
+
+
+class TestTokenLossEdge:
+    def test_loss_while_held_at_leaf(self):
+        engine = Engine()
+        n = 4
+        ttrt = choose_ttrt([2] * n, 2 * (n - 1), margin=2.0)
+        net = TPTNetwork(engine, star(n), root=0,
+                         config=TPTConfig(H={i: 2 for i in range(n)},
+                                          ttrt=ttrt))
+        net.start()
+        engine.run(until=9)      # token is somewhere mid-tour
+        net.drop_token()
+        engine.run(until=3000)
+        [rec] = net.records
+        assert rec.outcome == "token_reissued"
+        assert net.rotation_log.all_samples()[-1] == 2 * (n - 1)
+
+    def test_two_quick_losses(self):
+        engine = Engine()
+        n = 5
+        ttrt = choose_ttrt([1] * n, 2 * (n - 1), margin=2.0)
+        net = TPTNetwork(engine, star(n), root=0,
+                         config=TPTConfig(H={i: 1 for i in range(n)},
+                                          ttrt=ttrt))
+        net.start()
+        engine.run(until=20)
+        net.drop_token()
+        engine.run(until=engine.now + 4 * ttrt + 50)
+        net.drop_token()
+        engine.run(until=engine.now + 8 * ttrt + 200)
+        assert len(net.records) == 2
+        assert all(r.outcome == "token_reissued" for r in net.records)
+        assert not net.network_down
+
+    def test_root_death_rebuild_elects_new_root(self):
+        engine = Engine()
+        n = 5
+        from repro.phy import ConnectivityGraph, ring_placement
+        graph = ConnectivityGraph(ring_placement(n, radius=20.0), 100.0)
+        ttrt = choose_ttrt([2] * n, 2 * (n - 1), margin=2.0)
+        net = TPTNetwork(engine, star(n), root=0,
+                         config=TPTConfig(H={i: 2 for i in range(n)},
+                                          ttrt=ttrt), graph=graph)
+        net.start()
+        engine.run(until=30)
+        net.kill_station(0)      # the root itself dies
+        engine.run(until=6000)
+        assert 0 not in net.members
+        assert net.root != 0
+        assert not net.network_down
+        # tree works: deliver something
+        t0 = engine.now
+        p = Packet(src=net.members[0], dst=net.members[1],
+                   service=ServiceClass.PREMIUM, created=t0)
+        net.enqueue(p)
+        engine.run(until=t0 + 500)
+        assert p.delivered

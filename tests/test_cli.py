@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.n == 8 and args.traffic == "poisson"
+
+    def test_bounds_requires_params(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bounds"])
+
+
+class TestBoundsCommand:
+    def test_values_match_library(self, capsys):
+        rc = main(["bounds", "--n", "8", "--l", "2", "--k", "1",
+                   "--t-rap", "9", "--backlog", "4", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.analysis import (access_delay_bound,
+                                    sat_rotation_bound_homogeneous)
+        assert payload["theorem1_sat_time"] == \
+            sat_rotation_bound_homogeneous(8, 2, 1, T_rap=9)
+        assert payload["theorem3_access_x4"] == \
+            access_delay_bound(4, 2, 8, 9, [(2, 1)] * 8)
+
+    def test_plain_output(self, capsys):
+        main(["bounds", "--n", "4", "--l", "1", "--k", "1"])
+        out = capsys.readouterr().out
+        assert "theorem1_sat_time" in out
+        assert "proposition3_mean" in out
+
+
+class TestSimulateCommand:
+    def test_basic_simulation(self, capsys):
+        rc = main(["simulate", "--n", "6", "--horizon", "2000", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["delivered"] > 0
+        assert payload["bound_holds"]
+
+    def test_with_faults(self, capsys):
+        rc = main(["simulate", "--n", "6", "--horizon", "3000",
+                   "--kill", "2:500", "--leave", "4:1500",
+                   "--check-invariants", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 2 not in payload["members"]
+        assert 4 not in payload["members"]
+        assert payload["invariants_clean"]
+
+    def test_be_deadline_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--service", "be", "--deadline", "100"])
+
+    def test_bad_fault_entry_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--kill", "2"])
+
+    def test_mobility_flag(self, capsys):
+        rc = main(["simulate", "--n", "6", "--horizon", "1500",
+                   "--wander", "1.0", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "delivered" in payload
+
+
+class TestCompareCommand:
+    def test_compare_shapes(self, capsys):
+        rc = main(["compare", "--n", "6", "--quota", "2",
+                   "--horizon", "3000", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["idle_round_trip_wrt"] < payload["idle_round_trip_tpt"]
+        assert (payload["capacity_wrt_pkt_per_slot"]
+                > payload["capacity_tpt_pkt_per_slot"])
+        assert (payload["failure_repair_wrt_slots"]
+                < payload["failure_repair_tpt_slots"])
+        # the contention comparator trails both deterministic MACs and
+        # reports its collision fraction
+        assert (payload["capacity_csma_pkt_per_slot"]
+                < payload["capacity_tpt_pkt_per_slot"])
+        assert 0 < payload["csma_collision_fraction"] < 1
+
+
+class TestAllocateCommand:
+    def test_feasible_allocation(self, capsys):
+        rc = main(["allocate", "--demands", "0.02:500:2,0.05:400:3,0.01:-:0",
+                   "--scheme", "local", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["feasible"]
+        assert len(payload["l"]) == 3
+
+    def test_infeasible_returns_nonzero(self, capsys):
+        rc = main(["allocate", "--demands", "0.9:10:50,0.9:10:50"])
+        assert rc == 1
+
+    def test_bad_demand_entry(self):
+        with pytest.raises(SystemExit):
+            main(["allocate", "--demands", "0.5:100"])

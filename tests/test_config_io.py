@@ -1,0 +1,86 @@
+"""Tests for scenario JSON (de)serialization and the --config CLI path."""
+
+import json
+
+import pytest
+
+from repro.config_io import (load_scenario, save_scenario, scenario_from_dict,
+                             scenario_to_dict)
+from repro.core import QuotaConfig, ServiceClass
+from repro.faults import FaultSchedule
+from repro.scenarios import MobilitySpec, Scenario, TrafficMix, run_scenario
+
+
+def full_scenario():
+    return Scenario(
+        n=6, placement="circle", radius=25.0, range_margin=2.4,
+        l=2, k=2, rap_enabled=True, t_ear=7, t_update=4,
+        quotas={sid: QuotaConfig.three_class(2, 1, 1) for sid in range(6)},
+        traffic=TrafficMix(kind="cbr", period=30.0,
+                           service=ServiceClass.PREMIUM, deadline=400.0),
+        mobility=MobilitySpec(wander_radius=2.0, speed=0.3, update_every=20),
+        faults=FaultSchedule.builder().kill(3, at=1000).build(),
+        check_invariants=True, horizon=2500.0, seed=9)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        scn = full_scenario()
+        data = scenario_to_dict(scn)
+        back = scenario_from_dict(data)
+        assert scenario_to_dict(back) == data
+
+    def test_json_round_trip(self, tmp_path):
+        scn = full_scenario()
+        path = tmp_path / "scenario.json"
+        save_scenario(scn, path)
+        loaded = load_scenario(path)
+        assert scenario_to_dict(loaded) == scenario_to_dict(scn)
+        # the file is genuinely JSON
+        json.loads(path.read_text())
+
+    def test_round_tripped_scenario_runs_identically(self, tmp_path):
+        scn = Scenario(n=5, horizon=1200, seed=4,
+                       traffic=TrafficMix(kind="poisson", rate=0.06))
+        path = tmp_path / "s.json"
+        save_scenario(scn, path)
+        a = run_scenario(scn).summary()
+        b = run_scenario(load_scenario(path)).summary()
+        assert a == b
+
+    def test_minimal_dict(self):
+        scn = scenario_from_dict({"n": 4, "horizon": 500})
+        assert scn.n == 4 and scn.horizon == 500
+        assert scn.traffic.kind == "poisson"   # defaults kept
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"n": 4, "warp_drive": True})
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_from_dict({"traffic": {"kind": "cbr",
+                                            "service": "platinum"}})
+
+    def test_faults_survive(self):
+        scn = full_scenario()
+        back = scenario_from_dict(scenario_to_dict(scn))
+        assert len(back.faults.events) == 1
+        assert back.faults.events[0].kind == "kill"
+        assert back.faults.events[0].station == 3
+
+
+class TestCliConfig:
+    def test_simulate_with_config_file(self, tmp_path, capsys):
+        from repro.cli import main
+        scn = Scenario(n=5, horizon=1000, seed=2,
+                       traffic=TrafficMix(kind="poisson", rate=0.05,
+                                          service=ServiceClass.PREMIUM,
+                                          deadline=300.0))
+        path = tmp_path / "cfg.json"
+        save_scenario(scn, path)
+        rc = main(["simulate", "--config", str(path), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["delivered"] > 0
+        assert payload["bound_holds"]

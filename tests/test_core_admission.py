@@ -1,0 +1,133 @@
+"""Unit tests for the admission controller (Sec. 2.4.1's QoS check)."""
+
+import pytest
+
+from repro.core import QuotaConfig, WRTRingConfig, WRTRingNetwork
+from repro.core.admission import QoSRequirement
+from repro.core.join import JoinRequest
+from repro.sim import Engine
+
+
+def make_net(n=5, l=2, k=1, max_network_delay=None):
+    engine = Engine()
+    cfg = WRTRingConfig.homogeneous(range(n), l=l, k=k, rap_enabled=False,
+                                    max_network_delay=max_network_delay)
+    net = WRTRingNetwork(engine, list(range(n)), cfg)
+    return net
+
+
+def request(l=1, k=1, deadline=None, backlog=0):
+    return JoinRequest(requester=99, code_new=50,
+                       quota=QuotaConfig.two_class(l, k),
+                       deadline_req=deadline, max_backlog=backlog)
+
+
+class TestQoSRequirement:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QoSRequirement(deadline=0)
+        with pytest.raises(ValueError):
+            QoSRequirement(deadline=10, max_backlog=-1)
+
+
+class TestBudgetCheck:
+    def test_no_budget_accepts(self):
+        net = make_net()
+        decision = net.join_manager.admission.evaluate(request())
+        assert decision.accepted
+
+    def test_budget_rejects_projected_overflow(self):
+        net = make_net()
+        # projected bound: S+1 + 2*(5*3 + 2) = 6 + 34 = 40
+        net.config.max_network_delay = 39.0
+        decision = net.join_manager.admission.evaluate(request(l=1, k=1))
+        assert not decision.accepted
+        assert decision.projected_sat_bound == 40.0
+        assert "budget" in decision.reason
+
+    def test_budget_boundary_accepts(self):
+        net = make_net()
+        net.config.max_network_delay = 40.0
+        decision = net.join_manager.admission.evaluate(request(l=1, k=1))
+        assert decision.accepted
+
+    def test_projected_bound_reported(self):
+        net = make_net()
+        decision = net.join_manager.admission.evaluate(request(l=3, k=2))
+        assert decision.projected_sat_bound == 6 + 2 * (15 + 5)
+
+
+class TestRequirementCheck:
+    def test_existing_requirement_blocks(self):
+        from repro.analysis import access_delay_bound
+        net = make_net()
+        adm = net.join_manager.admission
+        # deadline exactly at the current ring's bound: any join breaks it
+        current = access_delay_bound(0, 2, 5, 0, [(2, 1)] * 5)
+        adm.register_requirement(0, deadline=current)
+        decision = adm.evaluate(request())
+        assert not decision.accepted
+        assert decision.violated_station == 0
+
+    def test_loose_requirement_admits(self):
+        net = make_net()
+        adm = net.join_manager.admission
+        adm.register_requirement(0, deadline=10_000.0)
+        assert adm.evaluate(request()).accepted
+
+    def test_clear_requirement(self):
+        net = make_net()
+        adm = net.join_manager.admission
+        adm.register_requirement(0, deadline=1.0)
+        adm.clear_requirement(0)
+        assert adm.evaluate(request()).accepted
+
+    def test_requirement_for_departed_station_ignored(self):
+        net = make_net()
+        adm = net.join_manager.admission
+        adm.register_requirement(42, deadline=1.0)  # not a member
+        assert adm.evaluate(request()).accepted
+
+    def test_joiner_deadline_checked(self):
+        net = make_net()
+        adm = net.join_manager.admission
+        decision = adm.evaluate(request(deadline=5.0))
+        assert not decision.accepted
+        assert "unachievable" in decision.reason
+        ok = adm.evaluate(request(deadline=10_000.0))
+        assert ok.accepted
+
+    def test_joiner_deadline_without_l_rejected(self):
+        net = make_net()
+        decision = net.join_manager.admission.evaluate(
+            JoinRequest(requester=99, code_new=50,
+                        quota=QuotaConfig.two_class(0, 2),
+                        deadline_req=100.0))
+        assert not decision.accepted
+        assert "l=0" in decision.reason
+
+    def test_decisions_logged(self):
+        net = make_net()
+        adm = net.join_manager.admission
+        adm.evaluate(request())
+        adm.evaluate(request(deadline=1.0))
+        assert len(adm.decisions) == 2
+        assert [d.accepted for d in adm.decisions] == [True, False]
+
+
+class TestMaxAdmissibleQuota:
+    def test_unlimited_without_budget(self):
+        net = make_net()
+        assert net.join_manager.admission.max_admissible_quota() >= 10 ** 6
+
+    def test_headroom_computation(self):
+        net = make_net()
+        # current total quota = 15, S_new = 6
+        # budget = 6 + 2*(15 + q) <= B  ->  q <= (B - 6 - 30)/2
+        net.config.max_network_delay = 56.0
+        assert net.join_manager.admission.max_admissible_quota() == 10
+
+    def test_no_headroom_is_zero(self):
+        net = make_net()
+        net.config.max_network_delay = 30.0
+        assert net.join_manager.admission.max_admissible_quota() == 0

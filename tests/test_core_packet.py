@@ -1,0 +1,112 @@
+"""Unit tests for packets, service classes and quota configs."""
+
+import pytest
+
+from repro.core import Packet, QuotaConfig, ServiceClass
+
+
+class TestServiceClass:
+    def test_priority_ordering(self):
+        assert ServiceClass.PREMIUM < ServiceClass.ASSURED < ServiceClass.BEST_EFFORT
+
+    def test_real_time_flag(self):
+        assert ServiceClass.PREMIUM.is_real_time
+        assert not ServiceClass.ASSURED.is_real_time
+        assert not ServiceClass.BEST_EFFORT.is_real_time
+
+    def test_short_names(self):
+        assert ServiceClass.PREMIUM.short == "RT"
+        assert ServiceClass.ASSURED.short == "AS"
+        assert ServiceClass.BEST_EFFORT.short == "BE"
+
+
+class TestPacket:
+    def test_lifecycle_timestamps(self):
+        p = Packet(src=1, dst=2, service=ServiceClass.PREMIUM, created=10.0,
+                   deadline=50.0)
+        assert p.access_delay is None
+        assert p.end_to_end_delay is None
+        assert not p.delivered
+        p.t_enqueue = 10.0
+        p.t_send = 14.0
+        p.t_deliver = 18.0
+        assert p.access_delay == 4.0
+        assert p.end_to_end_delay == 8.0
+        assert p.delivered
+
+    def test_unique_ids(self):
+        a = Packet(src=0, dst=1, service=ServiceClass.BEST_EFFORT, created=0.0)
+        b = Packet(src=0, dst=1, service=ServiceClass.BEST_EFFORT, created=0.0)
+        assert a.pid != b.pid
+
+    def test_self_addressed_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src=3, dst=3, service=ServiceClass.PREMIUM, created=0.0)
+
+    def test_deadline_before_creation_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src=0, dst=1, service=ServiceClass.PREMIUM,
+                   created=10.0, deadline=5.0)
+
+    def test_missed_deadline_logic(self):
+        p = Packet(src=0, dst=1, service=ServiceClass.PREMIUM,
+                   created=0.0, deadline=10.0)
+        assert not p.missed_deadline          # still pending
+        p.t_deliver = 9.0
+        assert not p.missed_deadline
+        q = Packet(src=0, dst=1, service=ServiceClass.PREMIUM,
+                   created=0.0, deadline=10.0)
+        q.t_deliver = 11.0
+        assert q.missed_deadline
+
+    def test_dropped_packet_with_deadline_counts_missed(self):
+        p = Packet(src=0, dst=1, service=ServiceClass.PREMIUM,
+                   created=0.0, deadline=10.0)
+        p.dropped = True
+        assert p.missed_deadline
+
+    def test_no_deadline_never_missed(self):
+        p = Packet(src=0, dst=1, service=ServiceClass.BEST_EFFORT, created=0.0)
+        p.dropped = True
+        assert not p.missed_deadline
+
+
+class TestQuotaConfig:
+    def test_two_class(self):
+        q = QuotaConfig.two_class(l=3, k=2)
+        assert q.l == 3 and q.k == 2 and q.k1 == 0 and q.k2 == 2
+        assert q.total == 5
+
+    def test_three_class(self):
+        q = QuotaConfig.three_class(l=2, k1=3, k2=1)
+        assert q.k == 4
+        assert q.total == 6
+
+    def test_k_is_k1_plus_k2(self):
+        q = QuotaConfig(l=1, k1=2, k2=3)
+        assert q.k == q.k1 + q.k2 == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QuotaConfig(l=-1, k1=0, k2=1)
+        with pytest.raises(ValueError):
+            QuotaConfig(l=1, k1=-1, k2=0)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            QuotaConfig(l=1.5, k1=0, k2=0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            QuotaConfig(l=0, k1=0, k2=0)
+
+    def test_with_l(self):
+        q = QuotaConfig.three_class(l=1, k1=2, k2=3)
+        q2 = q.with_l(7)
+        assert q2.l == 7 and q2.k1 == 2 and q2.k2 == 3
+        assert q.l == 1  # frozen original untouched
+
+    def test_frozen(self):
+        q = QuotaConfig.two_class(1, 1)
+        with pytest.raises(Exception):
+            q.l = 5

@@ -1,0 +1,295 @@
+"""Integration tests for the WRT-Ring dataplane and SAT circulation."""
+
+import pytest
+
+from repro.core import (Packet, QuotaConfig, ServiceClass, WRTRingConfig,
+                        WRTRingNetwork)
+from repro.sim import Engine
+
+
+def make_net(n=5, l=2, k=2, **cfg_kwargs):
+    engine = Engine()
+    cfg_kwargs.setdefault("rap_enabled", False)
+    cfg = WRTRingConfig.homogeneous(range(n), l=l, k=k, **cfg_kwargs)
+    net = WRTRingNetwork(engine, list(range(n)), cfg)
+    return engine, net
+
+
+def pkt(src, dst, service=ServiceClass.PREMIUM, created=0.0, deadline=None):
+    return Packet(src=src, dst=dst, service=service, created=created,
+                  deadline=deadline)
+
+
+class TestConstruction:
+    def test_too_small_ring_rejected(self):
+        engine = Engine()
+        cfg = WRTRingConfig.homogeneous([0], l=1, k=1)
+        with pytest.raises(ValueError):
+            WRTRingNetwork(engine, [0], cfg)
+
+    def test_duplicate_ids_rejected(self):
+        engine = Engine()
+        cfg = WRTRingConfig.homogeneous([0, 1], l=1, k=1)
+        with pytest.raises(ValueError):
+            WRTRingNetwork(engine, [0, 1, 0], cfg)
+
+    def test_missing_quota_rejected(self):
+        engine = Engine()
+        cfg = WRTRingConfig(quotas={0: QuotaConfig.two_class(1, 1)})
+        with pytest.raises(ValueError):
+            WRTRingNetwork(engine, [0, 1], cfg)
+
+    def test_successor_predecessor(self):
+        _, net = make_net(4)
+        assert net.successor(0) == 1
+        assert net.successor(3) == 0
+        assert net.predecessor(0) == 3
+
+    def test_double_start_rejected(self):
+        engine, net = make_net(3)
+        net.start()
+        with pytest.raises(RuntimeError):
+            net.start()
+
+    def test_reachable_without_graph_is_true(self):
+        _, net = make_net(3)
+        assert net.reachable(0, 2)
+
+
+class TestIdleCirculation:
+    def test_idle_rotation_equals_ring_latency(self):
+        engine, net = make_net(7)
+        net.start()
+        engine.run(until=100)
+        samples = net.rotation_log.all_samples()
+        assert samples and all(s == 7.0 for s in samples)
+
+    def test_sat_hop_slots_scales_rotation(self):
+        engine, net = make_net(5, sat_hop_slots=3)
+        net.start()
+        engine.run(until=200)
+        samples = net.rotation_log.all_samples()
+        assert samples and all(s == 15.0 for s in samples)
+        assert net.ring_latency() == 15.0
+
+    def test_hops_per_round_is_n(self):
+        """Sec. 3.2.1 / Fig. 4b: the SAT crosses exactly N links per round."""
+        for n in (3, 6, 11):
+            engine, net = make_net(n)
+            net.start()
+            engine.run(until=20 * n)
+            hops = net.rotation_log.hops_per_round()[1:]  # first is warm-up
+            assert hops and all(h == n for h in hops)
+
+    def test_rounds_counted(self):
+        engine, net = make_net(4)
+        net.start()
+        engine.run(until=41)
+        assert net.sat.rounds == 10
+
+
+class TestDelivery:
+    def test_packet_travels_hop_by_hop(self):
+        engine, net = make_net(6)
+        net.start()
+        engine.run(until=10)
+        p = pkt(src=1, dst=4, created=engine.now)
+        net.enqueue(p)
+        engine.run(until=30)
+        assert p.delivered
+        # 3 hops: sent at t0, arrives dst at t0 + 3
+        assert p.t_deliver - p.t_send == 3.0
+
+    def test_neighbour_delivery_one_slot(self):
+        engine, net = make_net(4)
+        net.start()
+        engine.run(until=5)
+        p = pkt(src=2, dst=3, created=engine.now)
+        net.enqueue(p)
+        engine.run(until=15)
+        assert p.t_deliver - p.t_send == 1.0
+
+    def test_wraparound_path(self):
+        engine, net = make_net(4)
+        net.start()
+        engine.run(until=5)
+        p = pkt(src=3, dst=1, created=engine.now)
+        net.enqueue(p)
+        engine.run(until=20)
+        assert p.delivered
+        assert p.t_deliver - p.t_send == 2.0  # 3->0->1
+
+    def test_unknown_source_rejected(self):
+        engine, net = make_net(3)
+        with pytest.raises(KeyError):
+            net.enqueue(pkt(src=9, dst=1))
+
+    def test_metrics_account_delivery(self):
+        engine, net = make_net(4)
+        net.start()
+        engine.run(until=5)
+        net.enqueue(pkt(src=0, dst=2, service=ServiceClass.PREMIUM,
+                        created=engine.now))
+        net.enqueue(pkt(src=1, dst=3, service=ServiceClass.BEST_EFFORT,
+                        created=engine.now))
+        engine.run(until=30)
+        assert net.metrics.delivered[ServiceClass.PREMIUM] == 1
+        assert net.metrics.delivered[ServiceClass.BEST_EFFORT] == 1
+        assert net.metrics.total_delivered == 2
+        assert net.metrics.e2e_delay[ServiceClass.PREMIUM].count == 1
+
+    def test_deadline_met_tracked(self):
+        engine, net = make_net(4)
+        net.start()
+        engine.run(until=5)
+        p = pkt(src=0, dst=1, created=engine.now, deadline=engine.now + 50)
+        net.enqueue(p)
+        engine.run(until=60)
+        assert net.metrics.deadlines.met == 1
+        assert net.metrics.deadlines.missed == 0
+
+    def test_concurrent_transmissions_same_slot(self):
+        """CDMA concurrency: all stations can transmit in the same slot."""
+        engine, net = make_net(6, l=1, k=0)
+        net.start()
+        engine.run(until=10)
+        t0 = engine.now
+        packets = [pkt(src=i, dst=(i + 1) % 6, created=t0) for i in range(6)]
+        for p in packets:
+            net.enqueue(p)
+        engine.run(until=t0 + 3)
+        # every station had RT quota: all six went out in the same slot
+        assert all(p.t_send == packets[0].t_send for p in packets)
+        assert all(p.delivered for p in packets)
+
+    def test_transit_priority_over_own_traffic(self):
+        """Buffer insertion: transit forwards before own insertions."""
+        engine, net = make_net(5, l=5, k=0)
+        net.start()
+        engine.run(until=10)
+        t0 = engine.now
+        # station 0 sends through 1; 1 also wants to send its own
+        through = pkt(src=0, dst=2, created=t0)
+        own = pkt(src=1, dst=2, created=t0)
+        net.enqueue(through)
+        net.enqueue(own)
+        engine.run(until=t0 + 10)
+        assert through.delivered and own.delivered
+        # both go out in the same slot (CDMA concurrency); 'through' then
+        # needs one transit forwarding at station 1
+        assert through.t_send == own.t_send
+        assert own.t_deliver == own.t_send + 1
+        assert through.t_deliver == through.t_send + 2
+
+
+class TestQuotaEnforcement:
+    def test_station_sends_at_most_l_plus_k_between_releases(self):
+        engine, net = make_net(4, l=2, k=1)
+        net.start()
+        # big backlog at station 0 only
+        engine.run(until=4)
+
+        def top(t):
+            st = net.stations[0]
+            while len(st.rt_queue) < 30:
+                st.enqueue(pkt(src=0, dst=2, created=t), t)
+            while len(st.be_queue) < 30:
+                st.enqueue(pkt(src=0, dst=2,
+                               service=ServiceClass.BEST_EFFORT, created=t), t)
+        net.add_tick_hook(top)
+        engine.run(until=400)
+        st = net.stations[0]
+        rounds = st.sat_visits
+        total_sent = sum(st.sent.values())
+        # at most (l + k) per release interval, +1 interval slack
+        assert total_sent <= (rounds + 1) * 3
+
+    def test_be_starved_by_rt_priority_within_quota(self):
+        engine, net = make_net(3, l=1, k=1)
+        net.start()
+        engine.run(until=3)
+        t0 = engine.now
+        st = net.stations[0]
+        st.enqueue(pkt(src=0, dst=1, service=ServiceClass.BEST_EFFORT,
+                       created=t0), t0)
+        st.enqueue(pkt(src=0, dst=1, created=t0), t0)  # premium second
+        engine.run(until=t0 + 1)
+        # premium transmitted first despite arriving later
+        assert st.sent[ServiceClass.PREMIUM] == 1
+        assert st.sent[ServiceClass.BEST_EFFORT] == 0
+
+
+class TestFairness:
+    def test_jain_fairness_one_under_rt_saturation(self):
+        """The guaranteed (RT) service is perfectly fair: l per round each."""
+        from repro.analysis import jain_fairness
+        engine, net = make_net(6, l=2, k=2)
+        net.start()
+
+        def top(t):
+            for sid in net.members:
+                st = net.stations[sid]
+                while len(st.rt_queue) < 10:
+                    st.enqueue(pkt(src=sid, dst=(sid + 2) % 6, created=t), t)
+        net.add_tick_hook(top)
+        engine.run(until=3000)
+        shares = [net.stations[sid].sent[ServiceClass.PREMIUM]
+                  for sid in net.members]
+        assert jain_fairness(shares) > 0.999
+
+    def test_rt_guarantee_immune_to_be_transit_pressure(self):
+        """BE authorizations expire unused under transit pressure (they are
+        not guaranteed), but every station still gets its full l per round."""
+        engine, net = make_net(6, l=2, k=2)
+        net.start()
+
+        def top(t):
+            for sid in net.members:
+                st = net.stations[sid]
+                while len(st.rt_queue) < 10:
+                    st.enqueue(pkt(src=sid, dst=(sid + 2) % 6, created=t), t)
+                while len(st.be_queue) < 10:
+                    st.enqueue(pkt(src=sid, dst=(sid + 3) % 6,
+                                   service=ServiceClass.BEST_EFFORT,
+                                   created=t), t)
+        net.add_tick_hook(top)
+        engine.run(until=3000)
+        for sid in net.members:
+            st = net.stations[sid]
+            # at least l RT packets per completed SAT round (minus warm-up)
+            assert st.sent[ServiceClass.PREMIUM] >= (st.sat_visits - 2) * 2
+
+    def test_be_fairness_with_asymmetric_rt(self):
+        """A station with heavy RT cannot squeeze out others' BE quota."""
+        engine, net = make_net(4, l=2, k=2)
+        net.start()
+
+        def top(t):
+            st0 = net.stations[0]
+            while len(st0.rt_queue) < 20:
+                st0.enqueue(pkt(src=0, dst=2, created=t), t)
+            for sid in (1, 2, 3):
+                st = net.stations[sid]
+                while len(st.be_queue) < 20:
+                    st.enqueue(pkt(src=sid, dst=(sid + 1) % 4,
+                                   service=ServiceClass.BEST_EFFORT,
+                                   created=t), t)
+        net.add_tick_hook(top)
+        engine.run(until=2000)
+        be_shares = [net.stations[sid].sent[ServiceClass.BEST_EFFORT]
+                     for sid in (1, 2, 3)]
+        from repro.analysis import jain_fairness
+        assert jain_fairness(be_shares) > 0.99
+        # and everyone got BE service at all
+        assert min(be_shares) > 100
+
+
+class TestStop:
+    def test_stop_halts_ticking(self):
+        engine, net = make_net(3)
+        net.start()
+        engine.run(until=10)
+        net.stop()
+        rounds = net.sat.rounds
+        engine.run(until=50)
+        assert net.sat.rounds == rounds

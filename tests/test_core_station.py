@@ -1,0 +1,172 @@
+"""Unit tests for the station-side send and SAT algorithms (Sec. 2.2-2.3)."""
+
+import pytest
+
+from repro.core import Packet, QuotaConfig, ServiceClass, WRTRingStation
+
+
+def make(service, src=0, dst=1, created=0.0, deadline=None):
+    return Packet(src=src, dst=dst, service=service, created=created,
+                  deadline=deadline)
+
+
+def station(l=2, k1=0, k2=2, sid=0):
+    return WRTRingStation(sid, QuotaConfig(l=l, k1=k1, k2=k2))
+
+
+class TestQueueing:
+    def test_enqueue_routes_by_class(self):
+        st = station(k1=1)
+        st.enqueue(make(ServiceClass.PREMIUM), 0.0)
+        st.enqueue(make(ServiceClass.ASSURED), 0.0)
+        st.enqueue(make(ServiceClass.BEST_EFFORT), 0.0)
+        assert st.queue_length(ServiceClass.PREMIUM) == 1
+        assert st.queue_length(ServiceClass.ASSURED) == 1
+        assert st.queue_length(ServiceClass.BEST_EFFORT) == 1
+        assert st.queue_length() == 3
+
+    def test_enqueue_stamps_time(self):
+        st = station()
+        p = make(ServiceClass.PREMIUM)
+        st.enqueue(p, 7.0)
+        assert p.t_enqueue == 7.0
+
+    def test_wrong_source_rejected(self):
+        st = station(sid=5)
+        with pytest.raises(ValueError):
+            st.enqueue(make(ServiceClass.PREMIUM, src=0), 0.0)
+
+    def test_dead_station_rejects(self):
+        st = station()
+        st.alive = False
+        with pytest.raises(RuntimeError):
+            st.enqueue(make(ServiceClass.PREMIUM), 0.0)
+
+
+class TestSendAlgorithm:
+    def test_rule1_rt_capped_at_l(self):
+        st = station(l=2, k2=0)
+        # k2=0 invalid? l=2,k=0 fine
+        for _ in range(5):
+            st.enqueue(make(ServiceClass.PREMIUM), 0.0)
+        sent = []
+        while True:
+            p = st.select_packet()
+            if p is None:
+                break
+            sent.append(p)
+        assert len(sent) == 2
+        assert st.rt_pck == 2
+
+    def test_rule2_be_needs_rt_done_or_empty(self):
+        st = station(l=2, k2=3)
+        for _ in range(1):
+            st.enqueue(make(ServiceClass.PREMIUM), 0.0)
+        for _ in range(3):
+            st.enqueue(make(ServiceClass.BEST_EFFORT), 0.0)
+        # RT queue nonempty and rt_pck < l: RT goes first
+        assert st.select_packet().service is ServiceClass.PREMIUM
+        # RT queue now empty -> BE may flow
+        assert st.select_packet().service is ServiceClass.BEST_EFFORT
+
+    def test_be_flows_once_rt_quota_exhausted(self):
+        st = station(l=1, k2=2)
+        for _ in range(4):
+            st.enqueue(make(ServiceClass.PREMIUM), 0.0)
+        for _ in range(2):
+            st.enqueue(make(ServiceClass.BEST_EFFORT), 0.0)
+        assert st.select_packet().service is ServiceClass.PREMIUM   # uses l
+        # RT queue nonempty but quota exhausted: rule 2's second arm
+        assert st.select_packet().service is ServiceClass.BEST_EFFORT
+        assert st.select_packet().service is ServiceClass.BEST_EFFORT
+        assert st.select_packet() is None   # everything capped
+
+    def test_nrt_total_capped_at_k(self):
+        st = station(l=0, k1=2, k2=2)
+        for _ in range(5):
+            st.enqueue(make(ServiceClass.ASSURED), 0.0)
+        for _ in range(5):
+            st.enqueue(make(ServiceClass.BEST_EFFORT), 0.0)
+        sent = []
+        while True:
+            p = st.select_packet()
+            if p is None:
+                break
+            sent.append(p.service)
+        assert len(sent) == 4  # k = k1 + k2 = 4
+        assert sent == [ServiceClass.ASSURED] * 2 + [ServiceClass.BEST_EFFORT] * 2
+
+    def test_assured_priority_over_best_effort(self):
+        st = station(l=0, k1=1, k2=1)
+        st.enqueue(make(ServiceClass.BEST_EFFORT), 0.0)
+        st.enqueue(make(ServiceClass.ASSURED), 0.0)
+        assert st.select_packet().service is ServiceClass.ASSURED
+        assert st.select_packet().service is ServiceClass.BEST_EFFORT
+
+    def test_k1_cap_respected_even_with_assured_backlog(self):
+        st = station(l=0, k1=1, k2=2)
+        for _ in range(5):
+            st.enqueue(make(ServiceClass.ASSURED), 0.0)
+        for _ in range(5):
+            st.enqueue(make(ServiceClass.BEST_EFFORT), 0.0)
+        sent = [st.select_packet().service for _ in range(3)]
+        assert sent == [ServiceClass.ASSURED,
+                        ServiceClass.BEST_EFFORT, ServiceClass.BEST_EFFORT]
+        assert st.select_packet() is None
+
+    def test_empty_queues_select_none(self):
+        assert station().select_packet() is None
+
+    def test_counters_reset_on_release(self):
+        st = station(l=1, k2=1)
+        st.enqueue(make(ServiceClass.PREMIUM), 0.0)
+        st.enqueue(make(ServiceClass.BEST_EFFORT), 0.0)
+        st.select_packet()
+        st.select_packet()
+        assert st.rt_pck == 1 and st.nrt_pck == 1
+        st.on_sat_release(10.0)
+        assert st.rt_pck == 0 and st.nrt_pck == 0
+        assert st.as_pck == 0 and st.be_pck == 0
+        assert st.last_sat_departure == 10.0
+
+
+class TestSatAlgorithm:
+    def test_satisfied_when_rt_queue_empty(self):
+        st = station(l=2)
+        assert st.satisfied
+
+    def test_not_satisfied_with_pending_rt_and_quota(self):
+        st = station(l=2)
+        st.enqueue(make(ServiceClass.PREMIUM), 0.0)
+        assert not st.satisfied
+
+    def test_satisfied_when_quota_exhausted(self):
+        st = station(l=1)
+        st.enqueue(make(ServiceClass.PREMIUM), 0.0)
+        st.enqueue(make(ServiceClass.PREMIUM), 0.0)
+        st.select_packet()
+        assert st.rt_pck == 1
+        assert st.satisfied  # quota used, even though queue nonempty
+
+    def test_be_backlog_never_blocks_satisfaction(self):
+        st = station(l=1, k2=5)
+        for _ in range(10):
+            st.enqueue(make(ServiceClass.BEST_EFFORT), 0.0)
+        assert st.satisfied
+
+    def test_arrival_measures_rotation(self):
+        st = station()
+        assert st.on_sat_arrival(10.0) is None
+        assert st.on_sat_arrival(25.0) == 15.0
+        assert st.sat_visits == 2
+
+    def test_holds_counted(self):
+        st = station(l=1)
+        st.enqueue(make(ServiceClass.PREMIUM), 0.0)
+        st.on_sat_arrival(5.0)
+        assert st.sat_holds == 1
+
+    def test_zero_l_station_always_satisfied(self):
+        st = WRTRingStation(0, QuotaConfig(l=0, k1=0, k2=2))
+        # no RT quota: satisfied by the rt_pck >= l arm immediately
+        assert st.satisfied

@@ -1,0 +1,31 @@
+"""Smoke tests: every example script must run clean and print its OK line.
+
+The examples are the repo's user-facing walkthroughs; each ends with an
+assertion-backed "OK:" summary, so running them is a meaningful end-to-end
+check, not just an import test.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    assert len(SCRIPTS) >= 3, "the repo promises at least three examples"
+    assert "quickstart.py" in SCRIPTS
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, (
+        f"{script} failed:\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}")
+    assert "OK" in proc.stdout, f"{script} did not reach its OK line"

@@ -1,0 +1,132 @@
+"""Unit + property tests for the CDMA code space and assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy import (
+    BROADCAST_CODE,
+    CodeSpace,
+    ConnectivityGraph,
+    assign_codes_distributed,
+    assign_codes_sequential,
+)
+
+
+class TestCodeSpace:
+    def test_assign_and_lookup(self):
+        cs = CodeSpace()
+        cs.assign(5, 0)
+        cs.assign(7, 3)
+        assert cs.code_of(5) == 0
+        assert cs.code_of(7) == 3
+        assert cs.has(5) and not cs.has(6)
+        assert len(cs) == 2
+
+    def test_broadcast_code_reserved(self):
+        cs = CodeSpace()
+        with pytest.raises(ValueError):
+            cs.assign(0, BROADCAST_CODE)
+
+    def test_negative_code_rejected(self):
+        cs = CodeSpace()
+        with pytest.raises(ValueError):
+            cs.assign(0, -2)
+
+    def test_unknown_station_raises(self):
+        cs = CodeSpace()
+        with pytest.raises(KeyError):
+            cs.code_of(42)
+
+    def test_release(self):
+        cs = CodeSpace()
+        cs.assign(1, 0)
+        cs.release(1)
+        assert not cs.has(1)
+        cs.release(1)  # idempotent
+
+    def test_next_free_code(self):
+        cs = CodeSpace()
+        cs.assign(0, 0)
+        cs.assign(1, 1)
+        cs.assign(2, 3)
+        assert cs.next_free_code() == 2
+
+    def test_stations_listing(self):
+        cs = CodeSpace()
+        cs.assign(9, 0)
+        cs.assign(4, 1)
+        assert sorted(cs.stations()) == [4, 9]
+
+
+class TestSequentialAssignment:
+    def test_unique_codes(self):
+        cs = assign_codes_sequential([10, 20, 30])
+        codes = [cs.code_of(s) for s in (10, 20, 30)]
+        assert len(set(codes)) == 3
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            assign_codes_sequential([1, 1])
+
+    def test_sequential_is_conflict_free_on_any_graph(self):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 20, size=(10, 2))
+        g = ConnectivityGraph(pos, 50.0)
+        cs = assign_codes_sequential(list(range(10)))
+        assert cs.conflicts(g) == []
+
+
+class TestDistributedAssignment:
+    def test_no_receiver_confusion(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 100, size=(25, 2))
+        g = ConnectivityGraph(pos, 25.0)
+        cs = assign_codes_distributed(g)
+        assert cs.conflicts(g) == []
+
+    def test_reuses_codes_in_sparse_graph(self):
+        # two far-apart pairs can share codes
+        pos = np.array([[0.0, 0], [1, 0], [1000, 0], [1001, 0]])
+        g = ConnectivityGraph(pos, 2.0)
+        cs = assign_codes_distributed(g)
+        codes = {s: cs.code_of(s) for s in range(4)}
+        assert len(set(codes.values())) < 4
+        assert cs.conflicts(g) == []
+
+    def test_clique_needs_n_codes(self):
+        pos = np.zeros((5, 2))
+        g = ConnectivityGraph(pos, 1.0)
+        # all at same point: clique; codes must all differ... but distance 0
+        # means everyone in range of everyone
+        cs = assign_codes_distributed(g)
+        codes = [cs.code_of(s) for s in range(5)]
+        assert len(set(codes)) == 5
+        assert cs.conflicts(g) == []
+
+    def test_bad_order_rejected(self):
+        g = ConnectivityGraph(np.zeros((2, 2)), 1.0)
+        with pytest.raises(ValueError):
+            assign_codes_distributed(g, order=[0])
+
+    def test_conflicts_detects_bad_assignment(self):
+        # three stations in a row, all in range; ends share a code ->
+        # the middle station cannot disambiguate.
+        pos = np.array([[0.0, 0], [1, 0], [2, 0]])
+        g = ConnectivityGraph(pos, 3.0)
+        cs = CodeSpace()
+        cs.assign(0, 0)
+        cs.assign(1, 1)
+        cs.assign(2, 0)
+        bad = cs.conflicts(g)
+        assert bad and bad[0][:2] == (0, 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=100))
+    def test_distributed_assignment_always_safe(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 60, size=(n, 2))
+        g = ConnectivityGraph(pos, 20.0)
+        cs = assign_codes_distributed(g)
+        assert len(cs) == n
+        assert cs.conflicts(g) == []

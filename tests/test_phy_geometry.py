@@ -1,0 +1,144 @@
+"""Unit + property tests for arena geometry and placements."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy import (
+    Arena,
+    distance_matrix,
+    ring_placement,
+    uniform_placement,
+    grid_placement,
+    clustered_placement,
+)
+from repro.phy.geometry import pairwise_in_range
+
+
+class TestArena:
+    def test_contains_and_clip(self):
+        arena = Arena(10.0, 20.0)
+        pts = np.array([[5.0, 5.0], [-1.0, 5.0], [5.0, 25.0]])
+        assert arena.contains(pts).tolist() == [True, False, False]
+        clipped = arena.clip(pts)
+        assert arena.contains(clipped).all()
+        assert np.allclose(clipped[0], [5.0, 5.0])
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Arena(0.0, 10.0)
+        with pytest.raises(ValueError):
+            Arena(10.0, -1.0)
+
+    def test_center_and_diagonal(self):
+        arena = Arena(30.0, 40.0)
+        assert np.allclose(arena.center, [15.0, 20.0])
+        assert arena.diagonal == pytest.approx(50.0)
+
+
+class TestDistanceMatrix:
+    def test_known_distances(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.0]])
+        d = distance_matrix(pts)
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[0, 2] == pytest.approx(1.0)
+        assert np.allclose(np.diag(d), 0.0)
+        assert np.allclose(d, d.T)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            distance_matrix(np.zeros((3, 3)))
+
+    def test_pairwise_in_range(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        adj = pairwise_in_range(pts, 2.0)
+        assert adj[0, 1] and adj[1, 0]
+        assert not adj[0, 2]
+        assert not adj.diagonal().any()
+
+    def test_in_range_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            pairwise_in_range(np.zeros((2, 2)), 0.0)
+
+    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=1000))
+    def test_distance_matrix_symmetry_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 100, size=(n, 2))
+        d = distance_matrix(pts)
+        assert np.allclose(d, d.T)
+        assert (d >= 0).all()
+        # triangle inequality on a sample of triples
+        for _ in range(10):
+            i, j, k = rng.integers(0, n, size=3)
+            assert d[i, k] <= d[i, j] + d[j, k] + 1e-9
+
+
+class TestPlacements:
+    def test_ring_placement_even_spacing(self):
+        pos = ring_placement(8, radius=10.0)
+        d = distance_matrix(pos)
+        # consecutive chord lengths equal
+        chord = 2 * 10.0 * math.sin(math.pi / 8)
+        for i in range(8):
+            assert d[i, (i + 1) % 8] == pytest.approx(chord)
+
+    def test_ring_placement_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            ring_placement(5, jitter=1.0)
+
+    def test_ring_placement_jitter_bounded(self):
+        rng = np.random.default_rng(0)
+        base = ring_placement(12, radius=20.0)
+        jit = ring_placement(12, radius=20.0, jitter=2.0, rng=rng)
+        assert np.abs(jit - base).max() <= 2.0 + 1e-9
+
+    def test_ring_placement_validates(self):
+        with pytest.raises(ValueError):
+            ring_placement(0)
+        with pytest.raises(ValueError):
+            ring_placement(5, radius=-1.0)
+
+    def test_uniform_placement_inside_arena(self):
+        arena = Arena(50.0, 30.0)
+        rng = np.random.default_rng(1)
+        pos = uniform_placement(200, arena, rng)
+        assert pos.shape == (200, 2)
+        assert arena.contains(pos).all()
+
+    def test_grid_placement_count_and_bounds(self):
+        arena = Arena(100.0, 100.0)
+        for n in (1, 5, 9, 17):
+            pos = grid_placement(n, arena)
+            assert pos.shape == (n, 2)
+            assert arena.contains(pos).all()
+
+    def test_grid_placement_distinct_points(self):
+        pos = grid_placement(16, Arena(100, 100))
+        assert len({tuple(p) for p in pos.round(9)}) == 16
+
+    def test_clustered_placement(self):
+        arena = Arena(100.0, 100.0)
+        rng = np.random.default_rng(2)
+        pos = clustered_placement(50, arena, clusters=3, spread=2.0, rng=rng)
+        assert pos.shape == (50, 2)
+        assert arena.contains(pos).all()
+
+    def test_clustered_placement_validates(self):
+        arena = Arena(10, 10)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            clustered_placement(5, arena, clusters=0, spread=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            clustered_placement(5, arena, clusters=2, spread=0.0, rng=rng)
+
+    @given(st.integers(min_value=3, max_value=40))
+    def test_ring_placement_neighbours_closest(self, n):
+        """On an even circle, your ring neighbours are your nearest stations."""
+        pos = ring_placement(n, radius=30.0)
+        d = distance_matrix(pos)
+        np.fill_diagonal(d, np.inf)
+        for i in range(n):
+            nearest = int(np.argmin(d[i]))
+            assert nearest in ((i + 1) % n, (i - 1) % n)

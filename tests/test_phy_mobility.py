@@ -1,0 +1,126 @@
+"""Unit tests for mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.phy import Arena, JitterMobility, RandomWaypointMobility, StaticMobility
+
+
+class TestStatic:
+    def test_never_moves(self):
+        pos = np.array([[1.0, 2.0], [3.0, 4.0]])
+        m = StaticMobility(pos)
+        m.advance(100.0)
+        assert np.allclose(m.positions, pos)
+        assert m.n == 2
+
+    def test_copies_input(self):
+        pos = np.array([[1.0, 2.0]])
+        m = StaticMobility(pos)
+        pos[0, 0] = 99.0
+        assert m.positions[0, 0] == 1.0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            StaticMobility(np.zeros((3,)))
+
+    def test_negative_dt_rejected(self):
+        m = StaticMobility(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            m.advance(-1.0)
+
+
+class TestJitter:
+    def test_stays_within_wander_radius(self):
+        rng = np.random.default_rng(0)
+        home = np.array([[50.0, 50.0]] * 20)
+        m = JitterMobility(home, wander_radius=3.0, speed=2.0)
+        for _ in range(200):
+            m.advance(1.0, rng)
+            dist = np.linalg.norm(m.positions - home, axis=1)
+            assert (dist <= 3.0 + 1e-9).all()
+
+    def test_actually_moves(self):
+        rng = np.random.default_rng(1)
+        home = np.zeros((5, 2)) + 50.0
+        m = JitterMobility(home, wander_radius=10.0, speed=1.0)
+        m.advance(1.0, rng)
+        assert not np.allclose(m.positions, home)
+
+    def test_zero_speed_is_static(self):
+        rng = np.random.default_rng(2)
+        home = np.zeros((3, 2))
+        m = JitterMobility(home, wander_radius=5.0, speed=0.0)
+        m.advance(10.0, rng)
+        assert np.allclose(m.positions, home)
+
+    def test_arena_clipping(self):
+        rng = np.random.default_rng(3)
+        arena = Arena(10.0, 10.0)
+        home = np.array([[0.0, 0.0]])
+        m = JitterMobility(home, wander_radius=50.0, speed=10.0, arena=arena)
+        for _ in range(50):
+            m.advance(1.0, rng)
+            assert arena.contains(m.positions).all()
+
+    def test_requires_rng_when_moving(self):
+        m = JitterMobility(np.zeros((1, 2)), wander_radius=1.0, speed=1.0)
+        with pytest.raises(ValueError):
+            m.advance(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JitterMobility(np.zeros((1, 2)), wander_radius=-1.0)
+        with pytest.raises(ValueError):
+            JitterMobility(np.zeros((1, 2)), wander_radius=1.0, speed=-1.0)
+
+
+class TestRandomWaypoint:
+    def test_stays_in_arena(self):
+        rng = np.random.default_rng(4)
+        arena = Arena(20.0, 20.0)
+        pos = np.full((10, 2), 10.0)
+        m = RandomWaypointMobility(pos, arena, speed=2.0, rng=rng)
+        for _ in range(100):
+            m.advance(1.0, rng)
+            assert arena.contains(m.positions).all()
+
+    def test_speed_limits_displacement(self):
+        rng = np.random.default_rng(5)
+        arena = Arena(1000.0, 1000.0)
+        pos = np.full((5, 2), 500.0)
+        m = RandomWaypointMobility(pos, arena, speed=3.0, rng=rng)
+        prev = m.positions.copy()
+        for _ in range(50):
+            m.advance(2.0, rng)
+            step = np.linalg.norm(m.positions - prev, axis=1)
+            assert (step <= 3.0 * 2.0 + 1e-6).all()
+            prev = m.positions.copy()
+
+    def test_pause_reduces_distance_travelled(self):
+        rng1 = np.random.default_rng(6)
+        rng2 = np.random.default_rng(6)
+        arena = Arena(100.0, 100.0)
+        pos = np.full((8, 2), 50.0)
+        fast = RandomWaypointMobility(pos, arena, speed=5.0, rng=np.random.default_rng(7))
+        slow = RandomWaypointMobility(pos, arena, speed=5.0, rng=np.random.default_rng(7), pause=20.0)
+        path_fast = path_slow = 0.0
+        pf, ps = fast.positions.copy(), slow.positions.copy()
+        for _ in range(100):
+            fast.advance(1.0, rng1)
+            slow.advance(1.0, rng2)
+            path_fast += np.linalg.norm(fast.positions - pf, axis=1).sum()
+            path_slow += np.linalg.norm(slow.positions - ps, axis=1).sum()
+            pf, ps = fast.positions.copy(), slow.positions.copy()
+        assert path_slow < path_fast  # pausing walkers cover less path
+
+    def test_validation(self):
+        arena = Arena(10, 10)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(np.zeros((1, 2)), arena, speed=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(np.zeros((1, 2)), arena, speed=1.0, rng=rng, pause=-1.0)
+        m = RandomWaypointMobility(np.zeros((1, 2)), arena, speed=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            m.advance(1.0)  # missing rng

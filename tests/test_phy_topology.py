@@ -1,0 +1,198 @@
+"""Unit + property tests for connectivity graphs, ring and tree construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy import (
+    ConnectivityGraph,
+    TopologyError,
+    build_bfs_tree,
+    construct_ring,
+    dfs_token_tour,
+    ring_is_feasible,
+    ring_placement,
+)
+
+
+def circle_graph(n, radius=30.0, radio_range=None):
+    pos = ring_placement(n, radius=radius)
+    if radio_range is None:
+        # comfortably covers adjacent chords
+        radio_range = 2 * radius * np.sin(np.pi / n) * 1.3
+    return ConnectivityGraph(pos, radio_range)
+
+
+class TestConnectivityGraph:
+    def test_basic_adjacency(self):
+        pos = np.array([[0, 0], [1, 0], [5, 0]], dtype=float)
+        g = ConnectivityGraph(pos, 2.0)
+        assert g.in_range(0, 1)
+        assert not g.in_range(0, 2)
+        assert g.neighbors(0) == [1]
+        assert g.degree(1) == 1
+        assert g.distance(0, 2) == pytest.approx(5.0)
+
+    def test_custom_node_ids(self):
+        pos = np.array([[0, 0], [1, 0]], dtype=float)
+        g = ConnectivityGraph(pos, 2.0, node_ids=[10, 20])
+        assert g.in_range(10, 20)
+        assert g.has_node(10) and not g.has_node(0)
+        assert np.allclose(g.position(20), [1, 0])
+
+    def test_duplicate_node_ids_rejected(self):
+        pos = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            ConnectivityGraph(pos, 1.0, node_ids=[1, 1])
+
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectivityGraph(np.zeros((2, 2)), 1.0, node_ids=[1])
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectivityGraph(np.zeros((2, 2)), 0.0)
+
+    def test_is_connected(self):
+        pos = np.array([[0, 0], [1, 0], [2, 0], [50, 50]], dtype=float)
+        g = ConnectivityGraph(pos, 1.5)
+        assert not g.is_connected()
+        g2 = ConnectivityGraph(pos[:3], 1.5)
+        assert g2.is_connected()
+
+    def test_single_node_connected(self):
+        g = ConnectivityGraph(np.zeros((1, 2)), 1.0)
+        assert g.is_connected()
+        assert g.min_degree() == 0
+
+    def test_min_degree(self):
+        g = circle_graph(6)
+        assert g.min_degree() == 2
+
+
+class TestRingConstruction:
+    def test_circle_layout_yields_feasible_ring(self):
+        g = circle_graph(10)
+        order = construct_ring(g)
+        assert ring_is_feasible(order, g)
+        assert sorted(order) == list(range(10))
+
+    def test_two_station_ring(self):
+        g = ConnectivityGraph(np.array([[0.0, 0], [1, 0]]), 2.0)
+        assert construct_ring(g) == [0, 1]
+
+    def test_two_station_out_of_range(self):
+        g = ConnectivityGraph(np.array([[0.0, 0], [10, 0]]), 2.0)
+        with pytest.raises(TopologyError):
+            construct_ring(g)
+
+    def test_degree_below_two_rejected(self):
+        # chain of 3: endpoints have degree 1
+        pos = np.array([[0.0, 0], [1, 0], [2, 0]])
+        g = ConnectivityGraph(pos, 1.5)
+        with pytest.raises(TopologyError):
+            construct_ring(g)
+
+    def test_empty_graph_rejected(self):
+        g = ConnectivityGraph(np.zeros((0, 2)), 1.0)
+        with pytest.raises(TopologyError):
+            construct_ring(g)
+
+    def test_single_station_ring(self):
+        g = ConnectivityGraph(np.zeros((1, 2)), 1.0)
+        assert construct_ring(g) == [0]
+
+    def test_feasibility_checker_rejects_wrong_sets(self):
+        g = circle_graph(5)
+        assert not ring_is_feasible([0, 1, 2, 3], g)       # missing node
+        assert not ring_is_feasible([0, 1, 2, 3, 3], g)    # duplicate
+
+    def test_feasibility_checker_rejects_out_of_range_edge(self):
+        pos = np.array([[0.0, 0], [1, 0], [1, 1], [0, 1], [0.5, 10.0]])
+        g = ConnectivityGraph(pos, 1.6)
+        assert not ring_is_feasible([0, 1, 2, 3, 4], g)
+
+    def test_scrambled_circle_recovered(self):
+        """Angular heuristic must recover a ring regardless of id order."""
+        rng = np.random.default_rng(3)
+        pos = ring_placement(12, radius=30.0)
+        perm = rng.permutation(12)
+        g = ConnectivityGraph(pos[perm], 2 * 30.0 * np.sin(np.pi / 12) * 1.3)
+        order = construct_ring(g)
+        assert ring_is_feasible(order, g)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=3, max_value=25))
+    def test_ring_on_dense_clique_always_found(self, n):
+        rng = np.random.default_rng(n)
+        pos = rng.uniform(0, 10, size=(n, 2))
+        g = ConnectivityGraph(pos, 100.0)  # clique
+        order = construct_ring(g)
+        assert ring_is_feasible(order, g)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=3, max_value=30), st.floats(min_value=1.1, max_value=2.0))
+    def test_ring_on_circle_with_margin(self, n, margin):
+        g = circle_graph(n, radio_range=2 * 30.0 * np.sin(np.pi / n) * margin)
+        order = construct_ring(g)
+        assert ring_is_feasible(order, g)
+
+
+class TestTree:
+    def test_bfs_tree_shape(self):
+        g = circle_graph(6)
+        children = build_bfs_tree(g, root=0)
+        # every non-root appears exactly once as a child
+        all_children = [c for cs in children.values() for c in cs]
+        assert sorted(all_children) == [1, 2, 3, 4, 5]
+
+    def test_bfs_tree_respects_radio_range(self):
+        g = circle_graph(8)
+        children = build_bfs_tree(g, root=0)
+        for parent, cs in children.items():
+            for c in cs:
+                assert g.in_range(parent, c)
+
+    def test_bfs_tree_disconnected_raises(self):
+        pos = np.array([[0.0, 0], [1, 0], [100, 100], [101, 100]])
+        g = ConnectivityGraph(pos, 2.0)
+        with pytest.raises(TopologyError):
+            build_bfs_tree(g, root=0)
+
+    def test_bfs_tree_unknown_root(self):
+        g = circle_graph(4)
+        with pytest.raises(TopologyError):
+            build_bfs_tree(g, root=99)
+
+    def test_dfs_tour_length_is_2n_minus_2_hops(self):
+        """The Sec. 3.2.1 claim: token crosses 2(N-1) links per round."""
+        for n in (3, 5, 8, 13):
+            g = circle_graph(n)
+            children = build_bfs_tree(g, root=0)
+            tour = dfs_token_tour(children, root=0)
+            assert len(tour) - 1 == 2 * (n - 1)
+            assert tour[0] == tour[-1] == 0
+
+    def test_dfs_tour_visits_every_station(self):
+        g = circle_graph(9)
+        children = build_bfs_tree(g, root=0)
+        tour = dfs_token_tour(children, root=0)
+        assert set(tour) == set(range(9))
+
+    def test_dfs_tour_consecutive_hops_are_tree_edges(self):
+        g = circle_graph(7)
+        children = build_bfs_tree(g, root=0)
+        edges = {(p, c) for p, cs in children.items() for c in cs}
+        edges |= {(c, p) for p, c in edges}
+        tour = dfs_token_tour(children, root=0)
+        for a, b in zip(tour, tour[1:]):
+            assert (a, b) in edges
+
+    def test_dfs_tour_fig4_example(self):
+        """Fig. 4(a): root 1 with children 2 and 3 -> tour 1,2,1,3,1."""
+        children = {1: [2, 3], 2: [], 3: []}
+        assert dfs_token_tour(children, root=1) == [1, 2, 1, 3, 1]
+
+    def test_dfs_tour_unknown_root(self):
+        with pytest.raises(TopologyError):
+            dfs_token_tour({0: []}, root=5)

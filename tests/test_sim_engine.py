@@ -1,0 +1,243 @@
+"""Unit tests for the event-loop engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Engine, SchedulingError, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(5.0, hits.append, "late")
+        eng.schedule(2.0, hits.append, "early")
+        eng.schedule(3.5, hits.append, "mid")
+        eng.run()
+        assert hits == ["early", "mid", "late"]
+
+    def test_same_time_fires_in_schedule_order(self):
+        eng = Engine()
+        hits = []
+        for i in range(10):
+            eng.schedule(1.0, hits.append, i)
+        eng.run()
+        assert hits == list(range(10))
+
+    def test_priority_breaks_simultaneous_ties(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(1.0, hits.append, "normal", priority=0)
+        eng.schedule(1.0, hits.append, "urgent", priority=-1)
+        eng.run()
+        assert hits == ["urgent", "normal"]
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SchedulingError):
+            eng.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        eng = Engine()
+        eng.schedule(5.0, lambda: None)
+        eng.run()
+        assert eng.now == 5.0
+        with pytest.raises(SchedulingError):
+            eng.schedule_at(4.0, lambda: None)
+
+    def test_non_callable_rejected(self):
+        eng = Engine()
+        with pytest.raises(SchedulingError):
+            eng.schedule(1.0, "not callable")
+
+    def test_zero_delay_fires_at_current_time(self):
+        eng = Engine()
+        times = []
+        eng.schedule(3.0, lambda: eng.schedule(0.0, lambda: times.append(eng.now)))
+        eng.run()
+        assert times == [3.0]
+
+    def test_callback_args_passed_through(self):
+        eng = Engine()
+        got = []
+        eng.schedule(1.0, lambda a, b, c: got.append((a, b, c)), 1, "x", None)
+        eng.run()
+        assert got == [(1, "x", None)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        hits = []
+        h = eng.schedule(1.0, hits.append, "no")
+        eng.schedule(2.0, hits.append, "yes")
+        h.cancel()
+        eng.run()
+        assert hits == ["yes"]
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        h = eng.schedule(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        eng.run()
+
+    def test_cancel_from_within_earlier_event(self):
+        eng = Engine()
+        hits = []
+        victim = eng.schedule(2.0, hits.append, "victim")
+        eng.schedule(1.0, victim.cancel)
+        eng.run()
+        assert hits == []
+
+    def test_peek_skips_cancelled(self):
+        eng = Engine()
+        h = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        h.cancel()
+        assert eng.peek() == 2.0
+
+
+class TestRun:
+    def test_run_until_advances_clock_even_without_events(self):
+        eng = Engine()
+        eng.run(until=100.0)
+        assert eng.now == 100.0
+
+    def test_run_until_leaves_future_events_pending(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(5.0, hits.append, "in")
+        eng.schedule(15.0, hits.append, "out")
+        eng.run(until=10.0)
+        assert hits == ["in"]
+        assert eng.now == 10.0
+        eng.run()
+        assert hits == ["in", "out"]
+
+    def test_run_until_boundary_event_fires(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(10.0, hits.append, "edge")
+        eng.run(until=10.0)
+        assert hits == ["edge"]
+
+    def test_run_until_past_rejected(self):
+        eng = Engine()
+        eng.schedule(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(SchedulingError):
+            eng.run(until=1.0)
+
+    def test_max_events(self):
+        eng = Engine()
+        hits = []
+        for i in range(10):
+            eng.schedule(float(i + 1), hits.append, i)
+        eng.run(max_events=3)
+        assert hits == [0, 1, 2]
+
+    def test_stop_halts_run(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(1.0, hits.append, "a")
+        eng.schedule(2.0, eng.stop)
+        eng.schedule(3.0, hits.append, "b")
+        eng.run()
+        assert hits == ["a"]
+        eng.run()
+        assert hits == ["a", "b"]
+
+    def test_reentrant_run_rejected(self):
+        eng = Engine()
+
+        def reenter():
+            with pytest.raises(SimulationError):
+                eng.run()
+
+        eng.schedule(1.0, reenter)
+        eng.run()
+
+    def test_step_returns_false_when_empty(self):
+        eng = Engine()
+        assert eng.step() is False
+
+    def test_step_executes_exactly_one(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(1.0, hits.append, 1)
+        eng.schedule(2.0, hits.append, 2)
+        assert eng.step() is True
+        assert hits == [1]
+
+    def test_events_executed_counter(self):
+        eng = Engine()
+        for i in range(7):
+            eng.schedule(float(i), lambda: None)
+        eng.run()
+        assert eng.events_executed == 7
+
+    def test_events_scheduled_during_run_fire(self):
+        eng = Engine()
+        hits = []
+
+        def cascade(depth):
+            hits.append(depth)
+            if depth < 5:
+                eng.schedule(1.0, cascade, depth + 1)
+
+        eng.schedule(0.0, cascade, 0)
+        eng.run()
+        assert hits == list(range(6))
+        assert eng.now == 5.0
+
+    def test_pending_count(self):
+        eng = Engine()
+        h = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        assert eng.pending_count() == 2
+        h.cancel()
+        assert eng.pending_count() == 1
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50))
+    def test_execution_order_is_sorted_by_time(self, delays):
+        eng = Engine()
+        order = []
+        for d in delays:
+            eng.schedule(d, lambda d=d: order.append(d))
+        eng.run()
+        assert order == sorted(delays)
+        assert eng.now == max(delays)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=100))
+    def test_run_until_partitions_events(self, delays, cut):
+        eng = Engine()
+        fired = []
+        for d in delays:
+            eng.schedule(float(d), fired.append, d)
+        eng.run(until=float(cut))
+        assert sorted(fired) == sorted(d for d in delays if d <= cut)
+        eng.run()
+        assert sorted(fired) == sorted(delays)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=1000,
+                                        allow_nan=False),
+                              st.booleans()),
+                    min_size=1, max_size=40))
+    def test_cancelled_subset_never_fires(self, items):
+        eng = Engine()
+        fired = []
+        handles = []
+        for i, (d, cancel) in enumerate(items):
+            handles.append((eng.schedule(d, fired.append, i), cancel))
+        for h, cancel in handles:
+            if cancel:
+                h.cancel()
+        eng.run()
+        expected = {i for i, (_, cancel) in enumerate(items) if not cancel}
+        assert set(fired) == expected

@@ -1,0 +1,315 @@
+"""Unit tests for generator processes and signals."""
+
+import pytest
+
+from repro.sim import Engine, Process, Signal, Timeout, Interrupt, SimulationError
+
+
+def run(eng, until=None):
+    eng.run(until=until)
+
+
+class TestTimeoutWaits:
+    def test_simple_timeouts(self):
+        eng = Engine()
+        trail = []
+
+        def proc():
+            trail.append(("start", eng.now))
+            yield Timeout(5.0)
+            trail.append(("mid", eng.now))
+            yield Timeout(2.5)
+            trail.append(("end", eng.now))
+
+        Process(eng, proc())
+        eng.run()
+        assert trail == [("start", 0.0), ("mid", 5.0), ("end", 7.5)]
+
+    def test_zero_timeout_yields_control(self):
+        eng = Engine()
+        order = []
+
+        def a():
+            order.append("a1")
+            yield Timeout(0.0)
+            order.append("a2")
+
+        def b():
+            order.append("b1")
+            yield Timeout(0.0)
+            order.append("b2")
+
+        Process(eng, a())
+        Process(eng, b())
+        eng.run()
+        assert order == ["a1", "b1", "a2", "b2"]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_process_result(self):
+        eng = Engine()
+
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = Process(eng, proc())
+        eng.run()
+        assert p.result == 42
+        assert not p.alive
+
+
+class TestSignals:
+    def test_wait_for_signal_value(self):
+        eng = Engine()
+        sig = Signal(eng, "data")
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append((value, eng.now))
+
+        Process(eng, waiter())
+        eng.schedule(7.0, sig.succeed, "payload")
+        eng.run()
+        assert got == [("payload", 7.0)]
+
+    def test_multiple_waiters_all_resume(self):
+        eng = Engine()
+        sig = Signal(eng)
+        got = []
+
+        def waiter(i):
+            v = yield sig
+            got.append((i, v))
+
+        for i in range(3):
+            Process(eng, waiter(i))
+        eng.schedule(1.0, sig.succeed, "x")
+        eng.run()
+        assert sorted(got) == [(0, "x"), (1, "x"), (2, "x")]
+
+    def test_yield_already_triggered_signal(self):
+        eng = Engine()
+        sig = Signal(eng)
+        sig.succeed(99)
+        got = []
+
+        def waiter():
+            v = yield sig
+            got.append(v)
+
+        Process(eng, waiter())
+        eng.run()
+        assert got == [99]
+
+    def test_failed_signal_raises_in_waiter(self):
+        eng = Engine()
+        sig = Signal(eng)
+        caught = []
+
+        def waiter():
+            try:
+                yield sig
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        Process(eng, waiter())
+        eng.schedule(1.0, sig.fail, ValueError("boom"))
+        eng.run()
+        assert caught == ["boom"]
+
+    def test_double_succeed_rejected(self):
+        eng = Engine()
+        sig = Signal(eng)
+        sig.succeed(1)
+        with pytest.raises(SimulationError):
+            sig.succeed(2)
+
+    def test_value_before_trigger_rejected(self):
+        eng = Engine()
+        sig = Signal(eng)
+        with pytest.raises(SimulationError):
+            _ = sig.value
+
+    def test_fail_requires_exception(self):
+        eng = Engine()
+        sig = Signal(eng)
+        with pytest.raises(TypeError):
+            sig.fail("not an exception")
+
+    def test_add_callback(self):
+        eng = Engine()
+        sig = Signal(eng)
+        got = []
+        sig.add_callback(lambda s: got.append(s.value))
+        eng.schedule(3.0, sig.succeed, "cb")
+        eng.run()
+        assert got == ["cb"]
+
+    def test_add_callback_after_trigger(self):
+        eng = Engine()
+        sig = Signal(eng)
+        sig.succeed("late")
+        got = []
+        sig.add_callback(lambda s: got.append(s.value))
+        eng.run()
+        assert got == ["late"]
+
+    def test_ok_property(self):
+        eng = Engine()
+        sig = Signal(eng)
+        assert not sig.ok
+        sig.succeed()
+        assert sig.ok
+        bad = Signal(eng)
+        bad.fail(RuntimeError("x"))
+        assert bad.triggered and not bad.ok
+
+
+class TestProcessComposition:
+    def test_join_child_process(self):
+        eng = Engine()
+        trail = []
+
+        def child():
+            yield Timeout(4.0)
+            return "child-result"
+
+        def parent():
+            result = yield Process(eng, child())
+            trail.append((result, eng.now))
+
+        Process(eng, parent())
+        eng.run()
+        assert trail == [("child-result", 4.0)]
+
+    def test_child_exception_propagates_to_parent(self):
+        eng = Engine()
+        caught = []
+
+        def child():
+            yield Timeout(1.0)
+            raise KeyError("inner")
+
+        def parent():
+            try:
+                yield Process(eng, child())
+            except KeyError as exc:
+                caught.append(exc.args[0])
+
+        Process(eng, parent())
+        eng.run()
+        assert caught == ["inner"]
+
+    def test_unhandled_exception_fails_done_signal(self):
+        eng = Engine()
+
+        def bad():
+            yield Timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        p = Process(eng, bad())
+        eng.run()
+        assert p.done.triggered
+        with pytest.raises(RuntimeError):
+            _ = p.result
+
+    def test_yield_garbage_fails_process(self):
+        eng = Engine()
+
+        def bad():
+            yield "not a waitable"
+
+        p = Process(eng, bad())
+        eng.run()
+        with pytest.raises(SimulationError):
+            _ = p.result
+
+    def test_non_generator_rejected(self):
+        eng = Engine()
+        with pytest.raises(TypeError):
+            Process(eng, lambda: None)
+
+
+class TestInterrupt:
+    def test_interrupt_during_timeout(self):
+        eng = Engine()
+        trail = []
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+                trail.append("never")
+            except Interrupt as exc:
+                trail.append(("interrupted", exc.cause, eng.now))
+
+        p = Process(eng, sleeper())
+        eng.schedule(5.0, p.interrupt, "wake")
+        eng.run()
+        assert trail == [("interrupted", "wake", 5.0)]
+        # the original timeout must not fire afterwards
+        assert eng.now == 5.0
+
+    def test_interrupt_during_signal_wait_detaches(self):
+        eng = Engine()
+        sig = Signal(eng)
+        trail = []
+
+        def waiter():
+            try:
+                yield sig
+            except Interrupt:
+                trail.append("interrupted")
+            yield Timeout(1.0)
+            trail.append("after")
+
+        p = Process(eng, waiter())
+        eng.schedule(2.0, p.interrupt)
+        eng.schedule(10.0, sig.succeed, "late")  # should not resume p twice
+        eng.run()
+        assert trail == ["interrupted", "after"]
+
+    def test_unhandled_interrupt_terminates_quietly(self):
+        eng = Engine()
+
+        def sleeper():
+            yield Timeout(100.0)
+
+        p = Process(eng, sleeper())
+        eng.schedule(1.0, p.interrupt, "cause")
+        eng.run()
+        assert not p.alive
+        assert p.result == "cause"
+
+    def test_interrupt_dead_process_is_noop(self):
+        eng = Engine()
+
+        def quick():
+            yield Timeout(1.0)
+
+        p = Process(eng, quick())
+        eng.run()
+        p.interrupt()  # no error
+        eng.run()
+        assert not p.alive
+
+    def test_interrupted_process_can_continue(self):
+        eng = Engine()
+        trail = []
+
+        def resilient():
+            while True:
+                try:
+                    yield Timeout(10.0)
+                    trail.append(("slept", eng.now))
+                    return
+                except Interrupt:
+                    trail.append(("retry", eng.now))
+
+        p = Process(eng, resilient())
+        eng.schedule(3.0, p.interrupt)
+        eng.run()
+        assert trail == [("retry", 3.0), ("slept", 13.0)]

@@ -1,0 +1,149 @@
+"""Hypothesis stateful testing of the kernel.
+
+A rule-based machine drives the engine, timers and signals through random
+operation sequences and checks the global ordering invariants after each
+step — the strongest evidence we have that the kernel's semantics (on which
+every bound measurement rests) cannot be wedged by any call order.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant, precondition,
+                                 rule)
+
+from repro.sim import Engine, Signal, Timer
+
+
+class EngineMachine(RuleBasedStateMachine):
+    """Random scheduling/cancelling/running against a live engine."""
+
+    def __init__(self):
+        super().__init__()
+        self.engine = Engine()
+        self.fired = []          # (time, tag)
+        self.expected = {}       # tag -> time (pending, not cancelled)
+        self.cancelled = set()
+        self.handles = {}
+        self._tag = 0
+
+    # ------------------------------------------------------------------
+    @rule(delay=st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    def schedule(self, delay):
+        tag = self._tag
+        self._tag += 1
+        handle = self.engine.schedule(delay, self.fired.append,
+                                      (self.engine.now + delay, tag))
+        self.handles[tag] = handle
+        self.expected[tag] = self.engine.now + delay
+
+    @precondition(lambda self: self.expected)
+    @rule(data=st.data())
+    def cancel_one(self, data):
+        tag = data.draw(st.sampled_from(sorted(self.expected)))
+        self.handles[tag].cancel()
+        del self.expected[tag]
+        self.cancelled.add(tag)
+
+    @rule(advance=st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    def run_until(self, advance):
+        target = self.engine.now + advance
+        self.engine.run(until=target)
+        assert self.engine.now == target
+        # everything due has fired
+        due = {tag for tag, t in self.expected.items() if t <= target}
+        fired_tags = {tag for _, tag in self.fired}
+        assert due <= fired_tags
+        for tag in due:
+            del self.expected[tag]
+
+    @rule()
+    def run_all(self):
+        self.engine.run()
+        fired_tags = {tag for _, tag in self.fired}
+        assert set(self.expected) <= fired_tags
+        self.expected.clear()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def fired_in_time_order(self):
+        times = [t for t, _ in self.fired]
+        assert times == sorted(times)
+
+    @invariant()
+    def cancelled_never_fire(self):
+        fired_tags = {tag for _, tag in self.fired}
+        assert not (fired_tags & self.cancelled)
+
+    @invariant()
+    def clock_monotone(self):
+        if self.fired:
+            assert self.fired[-1][0] <= self.engine.now + 1e-9
+
+
+TestEngineStateful = EngineMachine.TestCase
+TestEngineStateful.settings = settings(max_examples=40,
+                                       stateful_step_count=30,
+                                       deadline=None)
+
+
+class TimerSignalMachine(RuleBasedStateMachine):
+    """Watchdog timers + signals under random kicks and time advances."""
+
+    def __init__(self):
+        super().__init__()
+        self.engine = Engine()
+        self.expirations = []
+        self.timer = Timer(self.engine, 10.0,
+                           lambda: self.expirations.append(self.engine.now))
+        self.last_arm_time = None
+        self.signals = []
+
+    @rule()
+    def start_timer(self):
+        armed = self.timer.running
+        self.timer.start()
+        if not armed:
+            self.last_arm_time = self.engine.now
+
+    @rule()
+    def kick_timer(self):
+        self.timer.restart()
+        self.last_arm_time = self.engine.now
+
+    @rule()
+    def stop_timer(self):
+        self.timer.stop()
+        self.last_arm_time = None
+
+    @rule(advance=st.floats(min_value=0.1, max_value=30.0, allow_nan=False))
+    def advance(self, advance):
+        self.engine.run(until=self.engine.now + advance)
+
+    @rule()
+    def make_signal(self):
+        sig = Signal(self.engine)
+        self.signals.append(sig)
+
+    @precondition(lambda self: any(not s.triggered for s in self.signals))
+    @rule(data=st.data())
+    def trigger_signal(self, data):
+        pending = [s for s in self.signals if not s.triggered]
+        sig = data.draw(st.sampled_from(pending))
+        sig.succeed(self.engine.now)
+
+    @invariant()
+    def expirations_respect_arming(self):
+        # a timer can only expire exactly duration after its last (re)arm
+        for t in self.expirations:
+            assert t >= 10.0 - 1e-9
+
+    @invariant()
+    def running_timer_has_future_deadline(self):
+        if self.timer.running:
+            assert self.timer.deadline >= self.engine.now - 1e-9
+
+
+TestTimerSignalStateful = TimerSignalMachine.TestCase
+TestTimerSignalStateful.settings = settings(max_examples=30,
+                                            stateful_step_count=25,
+                                            deadline=None)

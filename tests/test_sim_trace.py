@@ -1,0 +1,138 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim import TraceRecorder, NullTraceRecorder
+
+
+class TestRecording:
+    def test_record_and_select(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "tx", src=0, dst=1)
+        tr.record(2.0, "rx", src=0, dst=1)
+        tr.record(3.0, "tx", src=2, dst=3)
+        assert tr.count("tx") == 2
+        assert tr.count("rx") == 1
+        assert [e.time for e in tr.select("tx")] == [1.0, 3.0]
+
+    def test_fields_access(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "tx", src=5)
+        ev = tr.events[0]
+        assert ev["src"] == 5
+        assert ev.get("missing", -1) == -1
+
+    def test_select_time_window(self):
+        tr = TraceRecorder()
+        for t in range(10):
+            tr.record(float(t), "tick", n=t)
+        sel = tr.select("tick", since=3.0, until=6.0)
+        assert [e["n"] for e in sel] == [3, 4, 5, 6]
+
+    def test_select_predicate(self):
+        tr = TraceRecorder()
+        for t in range(6):
+            tr.record(float(t), "tick", n=t)
+        sel = tr.select("tick", predicate=lambda e: e["n"] % 2 == 0)
+        assert [e["n"] for e in sel] == [0, 2, 4]
+
+    def test_times_and_last(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a")
+        tr.record(5.0, "b")
+        tr.record(9.0, "a", final=True)
+        assert tr.times("a") == [1.0, 9.0]
+        assert tr.last("a")["final"] is True
+        assert tr.last("zzz") is None
+
+    def test_len_and_iter(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "x")
+        tr.record(2.0, "y")
+        assert len(tr) == 2
+        assert [e.category for e in tr] == ["x", "y"]
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "x")
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.count("x") == 0
+
+
+class TestFiltering:
+    def test_enable_only(self):
+        tr = TraceRecorder()
+        tr.enable_only(["keep"])
+        tr.record(1.0, "keep")
+        tr.record(1.0, "drop")
+        assert tr.count("keep") == 1
+        assert tr.count("drop") == 0
+
+    def test_disable_specific(self):
+        tr = TraceRecorder()
+        tr.disable("noisy")
+        tr.record(1.0, "noisy")
+        tr.record(1.0, "quiet")
+        assert len(tr) == 1
+
+    def test_reenable(self):
+        tr = TraceRecorder()
+        tr.disable("c")
+        tr.enable("c")
+        tr.record(1.0, "c")
+        assert tr.count("c") == 1
+
+    def test_globally_disabled(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(1.0, "x")
+        assert len(tr) == 0
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tr = TraceRecorder()
+        tr.record(1.0, "tx", src=0, dst=1)
+        tr.record(2.5, "sat.rotation", station=3, rotation=7.0)
+        path = tmp_path / "trace.jsonl"
+        assert tr.to_jsonl(path) == 2
+        back = TraceRecorder.from_jsonl(path)
+        assert len(back) == 2
+        assert back.events[0].category == "tx"
+        assert back.events[0]["src"] == 0
+        assert back.events[1].time == 2.5
+        assert back.events[1]["rotation"] == 7.0
+
+    def test_non_serializable_fields_stringified(self, tmp_path):
+        tr = TraceRecorder()
+        tr.record(1.0, "weird", payload=object())
+        path = tmp_path / "trace.jsonl"
+        tr.to_jsonl(path)
+        back = TraceRecorder.from_jsonl(path)
+        assert isinstance(back.events[0]["payload"], str)
+
+    def test_live_network_trace_exports(self, tmp_path):
+        from repro.core import WRTRingConfig, WRTRingNetwork
+        from repro.sim import Engine
+        engine = Engine()
+        trace = TraceRecorder()
+        trace.enable_only(["sat.release", "sat.rotation"])
+        cfg = WRTRingConfig.homogeneous(range(4), l=1, k=1,
+                                        rap_enabled=False)
+        net = WRTRingNetwork(engine, list(range(4)), cfg, trace=trace)
+        net.start()
+        engine.run(until=50)
+        path = tmp_path / "net.jsonl"
+        count = trace.to_jsonl(path)
+        assert count > 20
+        back = TraceRecorder.from_jsonl(path)
+        rotations = back.select("sat.rotation")
+        assert rotations and all(ev["rotation"] == 4.0 for ev in rotations)
+
+
+class TestNullRecorder:
+    def test_drops_everything(self):
+        tr = NullTraceRecorder()
+        tr.record(1.0, "x", a=1)
+        assert len(tr) == 0
+        assert tr.count("x") == 0
+        assert not tr.is_enabled("x")
+        assert tr.select("x") == []

@@ -1,0 +1,281 @@
+"""Unit tests for flows, generators and workload composition."""
+
+import random
+
+import pytest
+
+from repro.core import Packet, ServiceClass, WRTRingConfig, WRTRingNetwork
+from repro.sim import Engine, RandomStreams
+from repro.traffic import (BacklogSource, CBRSource, FlowSpec, OnOffSource,
+                           PoissonSource, VideoSource, Workload)
+
+
+def collecting_sink():
+    packets = []
+    return packets, packets.append
+
+
+class TestFlowSpec:
+    def test_packet_stamping(self):
+        flow = FlowSpec(src=0, dst=3, service=ServiceClass.PREMIUM, deadline=20.0)
+        p = flow.make_packet(100.0)
+        assert p.src == 0 and p.dst == 3
+        assert p.deadline == 120.0
+        assert p.flow_id == flow.flow_id
+
+    def test_no_deadline(self):
+        flow = FlowSpec(src=0, dst=1)
+        assert flow.make_packet(5.0).deadline is None
+
+    def test_unique_flow_ids(self):
+        a = FlowSpec(src=0, dst=1)
+        b = FlowSpec(src=0, dst=1)
+        assert a.flow_id != b.flow_id
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowSpec(src=1, dst=1)
+        with pytest.raises(ValueError):
+            FlowSpec(src=0, dst=1, service=ServiceClass.PREMIUM, deadline=0.0)
+        with pytest.raises(ValueError):
+            FlowSpec(src=0, dst=1, service=ServiceClass.BEST_EFFORT,
+                     deadline=10.0)
+
+
+class TestCBR:
+    def test_exact_period(self):
+        eng = Engine()
+        got, sink = collecting_sink()
+        flow = FlowSpec(src=0, dst=1, service=ServiceClass.PREMIUM, deadline=50)
+        CBRSource(eng, flow, sink, period=10.0, start=5.0)
+        eng.run(until=100.0)
+        assert [p.created for p in got] == [5.0, 15.0, 25.0, 35.0, 45.0,
+                                            55.0, 65.0, 75.0, 85.0, 95.0]
+
+    def test_stop_time(self):
+        eng = Engine()
+        got, sink = collecting_sink()
+        src = CBRSource(eng, FlowSpec(src=0, dst=1), sink, period=10.0,
+                        stop=35.0)
+        eng.run(until=100.0)
+        assert src.generated == 4  # t = 0, 10, 20, 30
+
+    def test_rate(self):
+        eng = Engine()
+        src = CBRSource(eng, FlowSpec(src=0, dst=1), lambda p: None, period=4.0)
+        assert src.rate == 0.25
+
+    def test_jitter_preserves_long_run_rate(self):
+        eng = Engine()
+        got, sink = collecting_sink()
+        CBRSource(eng, FlowSpec(src=0, dst=1), sink, period=10.0, jitter=5.0,
+                  rng=random.Random(0))
+        eng.run(until=10_000.0)
+        assert abs(len(got) - 1000) <= 2
+
+    def test_validation(self):
+        eng = Engine()
+        flow = FlowSpec(src=0, dst=1)
+        with pytest.raises(ValueError):
+            CBRSource(eng, flow, lambda p: None, period=0.0)
+        with pytest.raises(ValueError):
+            CBRSource(eng, flow, lambda p: None, period=5.0, jitter=5.0,
+                      rng=random.Random(0))
+        with pytest.raises(ValueError):
+            CBRSource(eng, flow, lambda p: None, period=5.0, jitter=1.0)
+        with pytest.raises(ValueError):
+            CBRSource(eng, flow, lambda p: None, period=5.0, start=-1.0)
+        with pytest.raises(ValueError):
+            CBRSource(eng, flow, lambda p: None, period=5.0, start=10.0,
+                      stop=5.0)
+
+
+class TestPoisson:
+    def test_long_run_rate(self):
+        eng = Engine()
+        got, sink = collecting_sink()
+        PoissonSource(eng, FlowSpec(src=0, dst=1), sink, rate=0.2,
+                      rng=random.Random(1))
+        eng.run(until=50_000.0)
+        measured = len(got) / 50_000.0
+        assert measured == pytest.approx(0.2, rel=0.05)
+
+    def test_reproducible(self):
+        def run(seed):
+            eng = Engine()
+            got, sink = collecting_sink()
+            PoissonSource(eng, FlowSpec(src=0, dst=1), sink, rate=0.5,
+                          rng=random.Random(seed))
+            eng.run(until=100.0)
+            return [p.created for p in got]
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonSource(Engine(), FlowSpec(src=0, dst=1), lambda p: None,
+                          rate=0.0, rng=random.Random(0))
+
+
+class TestOnOff:
+    def test_long_run_rate(self):
+        eng = Engine()
+        got, sink = collecting_sink()
+        src = OnOffSource(eng, FlowSpec(src=0, dst=1), sink, peak_rate=1.0,
+                          mean_on=50.0, mean_off=150.0, rng=random.Random(2))
+        eng.run(until=100_000.0)
+        assert src.rate == pytest.approx(0.25)
+        assert len(got) / 100_000.0 == pytest.approx(0.25, rel=0.1)
+
+    def test_burstiness(self):
+        """On-off arrivals are burstier than Poisson at the same rate."""
+        import numpy as np
+        eng = Engine()
+        got_oo, sink_oo = collecting_sink()
+        OnOffSource(eng, FlowSpec(src=0, dst=1), sink_oo, peak_rate=1.0,
+                    mean_on=100.0, mean_off=100.0, rng=random.Random(3))
+        got_p, sink_p = collecting_sink()
+        PoissonSource(eng, FlowSpec(src=0, dst=1), sink_p, rate=0.5,
+                      rng=random.Random(4))
+        eng.run(until=50_000.0)
+
+        def window_var(packets):
+            counts = np.zeros(500)
+            for p in packets:
+                idx = int(p.created // 100.0)
+                if idx < 500:
+                    counts[idx] += 1
+            return counts.var()
+
+        assert window_var(got_oo) > 2 * window_var(got_p)
+
+    def test_validation(self):
+        eng = Engine()
+        flow = FlowSpec(src=0, dst=1)
+        with pytest.raises(ValueError):
+            OnOffSource(eng, flow, lambda p: None, peak_rate=0.0, mean_on=1,
+                        mean_off=1, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            OnOffSource(eng, flow, lambda p: None, peak_rate=1.0, mean_on=0,
+                        mean_off=1, rng=random.Random(0))
+
+
+class TestVideo:
+    def test_gop_pattern_packet_counts(self):
+        eng = Engine()
+        got, sink = collecting_sink()
+        VideoSource(eng, FlowSpec(src=0, dst=1, service=ServiceClass.PREMIUM,
+                                  deadline=100.0),
+                    sink, frame_interval=10.0,
+                    packets_per_frame={"I": 5, "P": 3, "B": 1}, gop="IBBP")
+        eng.run(until=39.0)   # 4 frames: I B B P
+        assert len(got) == 5 + 1 + 1 + 3
+        # frame bursts are back-to-back at frame boundaries
+        assert [p.created for p in got[:5]] == [0.0] * 5
+
+    def test_rate(self):
+        eng = Engine()
+        src = VideoSource(eng, FlowSpec(src=0, dst=1), lambda p: None,
+                          frame_interval=10.0,
+                          packets_per_frame={"I": 6, "P": 4, "B": 2},
+                          gop="IBBPBBPBB")
+        per_gop = 6 + 4 * 2 + 2 * 6
+        assert src.rate == pytest.approx(per_gop / 90.0)
+
+    def test_validation(self):
+        eng = Engine()
+        flow = FlowSpec(src=0, dst=1)
+        with pytest.raises(ValueError):
+            VideoSource(eng, flow, lambda p: None, frame_interval=0.0)
+        with pytest.raises(ValueError):
+            VideoSource(eng, flow, lambda p: None, frame_interval=1.0, gop="XYZ")
+        with pytest.raises(ValueError):
+            VideoSource(eng, flow, lambda p: None, frame_interval=1.0,
+                        gop="I", packets_per_frame={"I": 0})
+
+
+class TestBacklogSource:
+    def test_keeps_queue_topped(self):
+        eng = Engine()
+        cfg = WRTRingConfig.homogeneous(range(4), l=2, k=0, rap_enabled=False)
+        net = WRTRingNetwork(eng, list(range(4)), cfg)
+        flow = FlowSpec(src=0, dst=1, service=ServiceClass.PREMIUM)
+        src = BacklogSource(net, flow, target=7, rng=random.Random(0))
+        net.add_tick_hook(src.on_tick)
+        net.start()
+        eng.run(until=200)
+        # the queue is refilled every tick, so it always holds target minus
+        # at most what was sent this round
+        assert len(net.stations[0].rt_queue) >= 5
+        assert src.generated > 50
+
+    def test_stops_for_dead_station(self):
+        eng = Engine()
+        cfg = WRTRingConfig.homogeneous(range(4), l=1, k=0, rap_enabled=False)
+        net = WRTRingNetwork(eng, list(range(4)), cfg)
+        flow = FlowSpec(src=0, dst=1, service=ServiceClass.PREMIUM)
+        src = BacklogSource(net, flow, target=5, rng=random.Random(0))
+        net.add_tick_hook(src.on_tick)
+        net.start()
+        eng.run(until=20)
+        net.stations[0].alive = False
+        before = src.generated
+        eng.run(until=40)
+        assert src.generated == before
+
+    def test_validation(self):
+        eng = Engine()
+        cfg = WRTRingConfig.homogeneous(range(3), l=1, k=0, rap_enabled=False)
+        net = WRTRingNetwork(eng, list(range(3)), cfg)
+        with pytest.raises(ValueError):
+            BacklogSource(net, FlowSpec(src=0, dst=1), target=0)
+
+
+class TestWorkload:
+    def make_net(self, n=5):
+        eng = Engine()
+        cfg = WRTRingConfig.homogeneous(range(n), l=2, k=2, rap_enabled=False)
+        net = WRTRingNetwork(eng, list(range(n)), cfg)
+        return eng, net
+
+    def test_offered_load_accounting(self):
+        eng, net = self.make_net()
+        wl = Workload(net, RandomStreams(0))
+        wl.add_cbr(FlowSpec(src=0, dst=1), period=10.0)
+        wl.add_poisson(FlowSpec(src=1, dst=2), rate=0.05)
+        wl.add_backlog(FlowSpec(src=2, dst=3,
+                                service=ServiceClass.PREMIUM))
+        assert wl.offered_load() == pytest.approx(0.15)
+
+    def test_uniform_poisson_attaches_all_stations(self):
+        eng, net = self.make_net()
+        wl = Workload(net, RandomStreams(1))
+        sources = wl.uniform_poisson(0.02)
+        assert len(sources) == 5
+        srcs = {s.flow.src for s in sources}
+        assert srcs == set(range(5))
+
+    def test_neighbours_only_destinations(self):
+        eng, net = self.make_net()
+        wl = Workload(net, RandomStreams(2))
+        sources = wl.uniform_poisson(0.02, neighbours_only=True)
+        for s in sources:
+            assert s.flow.dst == net.successor(s.flow.src)
+
+    def test_saturate_all_and_deliver(self):
+        eng, net = self.make_net()
+        wl = Workload(net, RandomStreams(3))
+        wl.saturate_all(target=10)
+        net.start()
+        eng.run(until=500)
+        assert net.metrics.total_delivered > 100
+        assert wl.generated() > 100
+
+    def test_end_to_end_delivery_via_workload(self):
+        eng, net = self.make_net()
+        wl = Workload(net, RandomStreams(4))
+        wl.uniform_poisson(0.02, service=ServiceClass.PREMIUM, deadline=200.0)
+        net.start()
+        eng.run(until=3000)
+        assert net.metrics.deadlines.met > 0
+        assert net.metrics.deadlines.missed == 0

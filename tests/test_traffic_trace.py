@@ -1,0 +1,69 @@
+"""Tests for the trace-replay source."""
+
+import pytest
+
+from repro.core import ServiceClass, WRTRingConfig, WRTRingNetwork
+from repro.sim import Engine
+from repro.traffic import FlowSpec, TraceSource, Workload
+
+
+def collecting_sink():
+    packets = []
+    return packets, packets.append
+
+
+class TestTraceSource:
+    def test_replays_exact_times(self):
+        eng = Engine()
+        got, sink = collecting_sink()
+        trace = [1.0, 4.0, 4.0, 9.5, 100.0]
+        TraceSource(eng, FlowSpec(src=0, dst=1), sink, trace)
+        eng.run()
+        assert [p.created for p in got] == trace
+
+    def test_zero_time_arrival(self):
+        eng = Engine()
+        got, sink = collecting_sink()
+        TraceSource(eng, FlowSpec(src=0, dst=1), sink, [0.0, 2.0])
+        eng.run()
+        assert [p.created for p in got] == [0.0, 2.0]
+
+    def test_validation(self):
+        eng = Engine()
+        flow = FlowSpec(src=0, dst=1)
+        with pytest.raises(ValueError):
+            TraceSource(eng, flow, lambda p: None, [])
+        with pytest.raises(ValueError):
+            TraceSource(eng, flow, lambda p: None, [5.0, 1.0])
+        with pytest.raises(ValueError):
+            TraceSource(eng, flow, lambda p: None, [-1.0, 1.0])
+
+    def test_rate_estimate(self):
+        eng = Engine()
+        src = TraceSource(eng, FlowSpec(src=0, dst=1), lambda p: None,
+                          [0.0, 10.0, 20.0, 30.0, 40.0])
+        assert src.rate == pytest.approx(5 / 40.0)
+
+    def test_deadlines_stamped_relative_to_replay(self):
+        eng = Engine()
+        got, sink = collecting_sink()
+        flow = FlowSpec(src=0, dst=1, service=ServiceClass.PREMIUM,
+                        deadline=50.0)
+        TraceSource(eng, flow, sink, [3.0, 7.0])
+        eng.run()
+        assert [p.deadline for p in got] == [53.0, 57.0]
+
+    def test_end_to_end_over_ring(self):
+        eng = Engine()
+        cfg = WRTRingConfig.homogeneous(range(4), l=2, k=1, rap_enabled=False)
+        net = WRTRingNetwork(eng, list(range(4)), cfg)
+        wl = Workload(net)
+        src = wl.add_trace(FlowSpec(src=0, dst=2,
+                                    service=ServiceClass.PREMIUM,
+                                    deadline=100.0),
+                           [5.0, 6.0, 7.0, 40.0])
+        net.start()
+        eng.run(until=200)
+        assert src.generated == 4
+        assert all(p.delivered for p in src.packets)
+        assert net.metrics.deadlines.missed == 0
