@@ -13,6 +13,7 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines import TPTConfig, TPTNetwork, choose_ttrt
+from repro.campaign.aggregate import aligned_table
 from repro.core import Packet, ServiceClass, WRTRingConfig, WRTRingNetwork
 from repro.phy import ConnectivityGraph, build_bfs_tree, ring_placement
 from repro.sim import Engine
@@ -24,14 +25,8 @@ __all__ = ["print_table", "build_wrt", "build_tpt", "attach_saturation",
 def print_table(title: str, headers: Sequence[str],
                 rows: Sequence[Sequence]) -> None:
     """Aligned console table — the regenerated figure's data series."""
-    cells = [[f"{v:.3f}" if isinstance(v, float) else str(v) for v in row]
-             for row in rows]
-    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
-              for i, h in enumerate(headers)]
     print(f"\n=== {title} ===")
-    print("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
-    for row in cells:
-        print("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    print(aligned_table(headers, rows))
 
 
 def circle_graph(n: int, margin: float = 2.0) -> ConnectivityGraph:
@@ -69,17 +64,21 @@ def attach_saturation(net, seed: int = 0, rt: int = 15, be: int = 15,
 
     def top(t):
         members = net.members
+        # successor map computed once per tick, not once per enqueue —
+        # the per-enqueue members.index() lookup was O(N) and dominated
+        # large-N saturation runs
+        succ = _successor_map(net, members) if neighbours_only else None
         for sid in members:
             st = net.stations[sid]
             if not getattr(st, "alive", True):
                 continue
             while len(st.rt_queue) < rt:
-                dst = (_succ(net, sid) if neighbours_only
+                dst = (succ[sid] if neighbours_only
                        else rng.choice([d for d in members if d != sid]))
                 st.enqueue(Packet(src=sid, dst=dst,
                                   service=ServiceClass.PREMIUM, created=t), t)
             while len(st.be_queue) < be:
-                dst = (_succ(net, sid) if neighbours_only
+                dst = (succ[sid] if neighbours_only
                        else rng.choice([d for d in members if d != sid]))
                 st.enqueue(Packet(src=sid, dst=dst,
                                   service=ServiceClass.BEST_EFFORT,
@@ -87,11 +86,12 @@ def attach_saturation(net, seed: int = 0, rt: int = 15, be: int = 15,
     net.add_tick_hook(top)
 
 
-def _succ(net, sid):
+def _successor_map(net, members) -> Dict[int, int]:
     if hasattr(net, "successor"):
-        return net.successor(sid)
-    members = net.members
-    return members[(members.index(sid) + 1) % len(members)]
+        return {sid: net.successor(sid) for sid in members}
+    members = list(members)
+    return {sid: members[(i + 1) % len(members)]
+            for i, sid in enumerate(members)}
 
 
 def run(net, horizon: float):

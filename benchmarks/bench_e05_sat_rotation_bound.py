@@ -4,42 +4,51 @@ Saturates every station in both classes (the worst-case load) and sweeps
 (N, l, k), regenerating the bound-validation table: measured worst and mean
 rotation vs the closed form ``S + T_rap + 2·N·(l+k)``.
 
+Declarative port: the sweep is a :class:`repro.campaign.Sweep` of explicit
+points over the scenario fields, fanned out by :class:`CampaignRunner`;
+the per-point measurements are read off each record's summary.
+
 Shape to hold: every measured rotation is strictly below the bound for
 every configuration, and the bound is not vacuous (worst case reaches a
 sizeable fraction of it under saturation).
 """
 
-from repro.analysis import sat_rotation_bound_homogeneous
+import os
 
-from _harness import attach_saturation, build_wrt, print_table, run
+from repro.campaign import CampaignRunner, Sweep, get_field
+from repro.scenarios import Scenario, TrafficMix
+
+from _harness import print_table
 
 HORIZON = 5_000
+WORKERS = int(os.environ.get("CAMPAIGN_WORKERS", "2"))
+
+BASE = Scenario(traffic=TrafficMix(kind="saturate"), horizon=HORIZON)
 
 
-def measure(n, l, k, rap):
-    kwargs = {"rap_enabled": rap}
-    if rap:
-        kwargs.update(t_ear=6, t_update=3)
-    net = build_wrt(n, l, k, **kwargs)
-    attach_saturation(net, seed=n * 100 + l * 10 + k)
-    run(net, HORIZON)
-    samples = net.rotation_log.all_samples()
-    t_rap = net.config.effective_t_rap()
-    bound = sat_rotation_bound_homogeneous(n, l, k, T_rap=t_rap)
-    return max(samples), sum(samples) / len(samples), bound, len(samples)
+def run_campaign(points):
+    sweep = Sweep(base=BASE, points=points, name="e05")
+    result = CampaignRunner(sweep, workers=WORKERS,
+                            progress=lambda *a, **k: None).run()
+    assert result.ok, [f.error for f in result.failures]
+    return result.records
 
 
 def test_e05_theorem1_sweep(benchmark):
     configs = [(4, 1, 1, False), (6, 2, 1, False), (8, 2, 2, False),
                (10, 3, 1, False), (12, 1, 3, False),
                (6, 2, 1, True), (8, 2, 2, True)]
+    points = [{"n": n, "l": l, "k": k, "rap_enabled": rap}
+              for n, l, k, rap in configs]
 
-    def sweep():
-        return [measure(*c) for c in configs]
-
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    records = benchmark.pedantic(run_campaign, args=(points,),
+                                 rounds=1, iterations=1)
     rows = []
-    for (n, l, k, rap), (worst, mean, bound, cnt) in zip(configs, results):
+    for (n, l, k, rap), rec in zip(configs, records):
+        worst = get_field(rec, "worst_rotation")
+        mean = get_field(rec, "mean_rotation")
+        bound = get_field(rec, "rotation_bound")
+        cnt = get_field(rec, "rotation_samples")
         rows.append([n, l, k, "on" if rap else "off",
                      f"{worst:.0f}", f"{mean:.1f}", f"{bound:.0f}",
                      f"{worst / bound:.0%}", cnt])
@@ -48,26 +57,25 @@ def test_e05_theorem1_sweep(benchmark):
                 ["N", "l", "k", "RAP", "worst", "mean", "bound",
                  "tightness", "samples"],
                 rows)
-    for (n, l, k, rap), (worst, mean, bound, cnt) in zip(configs, results):
+    for (n, l, k, rap), rec in zip(configs, records):
+        worst = get_field(rec, "worst_rotation")
+        bound = get_field(rec, "rotation_bound")
         assert worst < bound, f"Theorem 1 violated at N={n}, l={l}, k={k}"
-        assert cnt > 100
+        assert get_field(rec, "rotation_samples") > 100
         assert worst >= 0.25 * bound, "bound vacuous: load not adversarial?"
 
 
 def test_e05_bound_scales_with_quota(benchmark):
     """Rotations grow with l+k while staying under their (also growing)
     bound — the trade-off a bandwidth allocator navigates."""
-    def sweep():
-        out = []
-        for l in (1, 2, 4, 8):
-            net = build_wrt(6, l, 1)
-            attach_saturation(net, seed=l)
-            run(net, HORIZON)
-            out.append((l, net.rotation_log.worst(),
-                        sat_rotation_bound_homogeneous(6, l, 1)))
-        return out
+    quotas = [1, 2, 4, 8]
+    points = [{"n": 6, "l": l, "k": 1} for l in quotas]
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    records = benchmark.pedantic(run_campaign, args=(points,),
+                                 rounds=1, iterations=1)
+    results = [(l, get_field(rec, "worst_rotation"),
+                get_field(rec, "rotation_bound"))
+               for l, rec in zip(quotas, records)]
     print_table("E05b: rotation vs guaranteed quota l (N=6, k=1)",
                 ["l", "worst rotation", "bound"],
                 [[l, f"{w:.0f}", f"{b:.0f}"] for l, w, b in results])

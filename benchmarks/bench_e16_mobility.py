@@ -6,6 +6,11 @@ stretches: stations wander inside discs of growing radius around their
 seats, ring links physically break when they drift out of range
 (``enforce_radio_links``), and the Sec. 2.5 machinery repairs what it can.
 
+Declarative port: the wander-radius sweep is a campaign of explicit points
+over ``mobility`` (``derive_seeds=False`` keeps the paper run's common
+seed 16 at every radius, so the series is directly comparable point to
+point).
+
 Regenerated series: wander radius -> recoveries, rebuilds, network survival
 and goodput over a fixed horizon.
 
@@ -15,33 +20,47 @@ goodput degrades gracefully; far beyond it the network eventually partitions
 (down) — the quantitative content of the paper's low-mobility caveat.
 """
 
+import os
+
+from repro.campaign import CampaignRunner, Sweep
 from repro.core import ServiceClass
-from repro.scenarios import MobilitySpec, Scenario, TrafficMix, run_scenario
+from repro.scenarios import Scenario, TrafficMix
 
 from _harness import print_table
 
 N = 8
 HORIZON = 6_000
+WORKERS = int(os.environ.get("CAMPAIGN_WORKERS", "2"))
+
+BASE = Scenario(
+    n=N, range_margin=2.0,
+    traffic=TrafficMix(kind="poisson", rate=0.04,
+                       service=ServiceClass.PREMIUM),
+    horizon=HORIZON, seed=16)
 
 
-def run_wander(radius):
-    scn = Scenario(
-        n=N, range_margin=2.0,
-        mobility=MobilitySpec(wander_radius=radius, speed=0.5,
-                              update_every=10) if radius > 0 else None,
-        traffic=TrafficMix(kind="poisson", rate=0.04,
-                           service=ServiceClass.PREMIUM),
-        horizon=HORIZON, seed=16)
-    return run_scenario(scn).summary()
+def _point(radius):
+    if radius == 0:
+        return {"mobility": None}
+    return {"mobility": {"wander_radius": radius, "speed": 0.5,
+                         "update_every": 10}}
+
+
+def run_campaign(radii):
+    sweep = Sweep(base=BASE, points=[_point(r) for r in radii],
+                  name="e16", derive_seeds=False)
+    result = CampaignRunner(sweep, workers=WORKERS,
+                            progress=lambda *a, **k: None).run()
+    assert result.ok, [f.error for f in result.failures]
+    return [rec["summary"] for rec in result.records]
 
 
 def test_e16_wander_sweep(benchmark):
     radii = [0.0, 1.0, 8.0, 12.0, 16.0]
 
-    def sweep():
-        return [(r, run_wander(r)) for r in radii]
-
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    summaries = benchmark.pedantic(run_campaign, args=(radii,),
+                                   rounds=1, iterations=1)
+    results = list(zip(radii, summaries))
     rows = []
     for r, s in results:
         rows.append([r, s["recoveries"], s["rebuilds"],
@@ -80,7 +99,7 @@ def test_e16_mobile_ring_self_heals(benchmark):
     """Moderate wander: links break and the ring repeatedly repairs itself
     (cut-outs/rebuilds) while still delivering traffic end-to-end."""
     def measure():
-        return run_wander(12.0)
+        return run_campaign([12.0])[0]
 
     summary = benchmark.pedantic(measure, rounds=1, iterations=1)
     print_table("E16b: life at wander radius 12.0",

@@ -12,52 +12,74 @@ that every N-dependent quantity scales as the analysis says, up to N = 48:
   pkt/slot: the SAT quotas — not the channel's N concurrent hops — are the
   binding constraint, exactly what the Prop. 3 round-length analysis
   predicts (throughput = N(l+k) per rotation of ~N slots).
+
+Declarative port: three campaigns over the new runner — a zip sweep for the
+idle rotations (horizon grows with N), a grid sweep for the saturated
+neighbour runs, and explicit fault points (silent death at t=50) for the
+recovery series.  Only the TPT baseline column stays hand-rolled: the
+campaign layer sweeps :class:`Scenario` objects, which build WRT-Ring
+stacks.
 """
 
-from repro.analysis import sat_rotation_bound_homogeneous
+import os
 
-from _harness import attach_saturation, build_tpt, build_wrt, print_table, run
+from repro.campaign import CampaignRunner, Sweep
+from repro.scenarios import Scenario, TrafficMix
+
+from _harness import build_tpt, print_table, run
 
 L, K = 2, 1
+SIZES = [6, 12, 24, 48]
+SAT_HORIZON = 3_000
+WORKERS = int(os.environ.get("CAMPAIGN_WORKERS", "2"))
 
 
-def measure(n):
-    # idle rotation
-    idle = build_wrt(n, L, K)
-    run(idle, 30 * n)
-    idle_rot = idle.rotation_log.all_samples()[-1]
+def _campaign(sweep):
+    result = CampaignRunner(sweep, workers=WORKERS,
+                            progress=lambda *a, **k: None).run()
+    assert result.ok, [f.error for f in result.failures]
+    return [rec["summary"] for rec in result.records]
 
-    # saturated rotation + goodput (neighbour pattern: pure spatial reuse)
-    sat = build_wrt(n, L, K)
-    attach_saturation(sat, seed=n, neighbours_only=True)
-    horizon = 3_000
-    run(sat, horizon)
-    worst = sat.rotation_log.worst()
-    goodput = sat.metrics.total_delivered / horizon
-    bound = sat_rotation_bound_homogeneous(n, L, K)
 
-    # recovery scaling
-    rec_net = build_wrt(n, L, K)
-    run(rec_net, 50)
-    rec_net.kill_station(n // 2)
-    rec_net.engine.run(until=50_000)
-    [rec] = rec_net.recovery.records
-    tpt = build_tpt(n, H=L + K, margin=1.5)
-    run(tpt, 50)
-    tpt.kill_station(n // 2)
-    tpt.engine.run(until=100_000)
-    [trec] = tpt.records
-    return dict(idle=idle_rot, worst=worst, bound=bound, goodput=goodput,
-                wrt_recover=rec.total_delay, tpt_recover=trec.total_delay)
+def measure_all(sizes):
+    base = Scenario(l=L, k=K, traffic=TrafficMix(kind="none"))
+    idle = _campaign(Sweep(
+        base=base, mode="zip", name="e20-idle",
+        axes={"n": sizes, "horizon": [30 * n for n in sizes]}))
+
+    sat = _campaign(Sweep(
+        base=Scenario(l=L, k=K, horizon=SAT_HORIZON,
+                      traffic=TrafficMix(kind="saturate",
+                                         neighbours_only=True)),
+        name="e20-sat", axes={"n": sizes}))
+
+    recovery = _campaign(Sweep(
+        base=base, name="e20-recovery",
+        points=[{"n": n, "horizon": 50_000.0,
+                 "faults": [{"time": 50.0, "kind": "kill",
+                             "station": n // 2}]}
+                for n in sizes]))
+
+    out = []
+    for n, i, s, r in zip(sizes, idle, sat, recovery):
+        # TPT baseline for the recovery column (not a Scenario — hand-rolled)
+        tpt = build_tpt(n, H=L + K, margin=1.5)
+        run(tpt, 50)
+        tpt.kill_station(n // 2)
+        tpt.engine.run(until=100_000)
+        [trec] = tpt.records
+        out.append(dict(idle=i["worst_rotation"],
+                        worst=s["worst_rotation"],
+                        bound=s["rotation_bound"],
+                        goodput=s["delivered"] / SAT_HORIZON,
+                        wrt_recover=r["recovery_delays"][0],
+                        tpt_recover=trec.total_delay))
+    return list(zip(sizes, out))
 
 
 def test_e20_scaling_sweep(benchmark):
-    sizes = [6, 12, 24, 48]
-
-    def sweep():
-        return [(n, measure(n)) for n in sizes]
-
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(measure_all, args=(SIZES,),
+                                 rounds=1, iterations=1)
     rows = []
     for n, m in results:
         rows.append([n, f"{m['idle']:.0f}", f"{m['worst']:.0f}",

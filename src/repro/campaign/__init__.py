@@ -1,0 +1,59 @@
+"""Campaign orchestration: parallel, cached, resumable scenario sweeps.
+
+The paper's every figure is a parameter sweep; this package turns one into
+a declarative object and an orchestrated run:
+
+- :mod:`repro.campaign.sweep`     -- grid / zip / explicit-point sweep
+  specs over :class:`~repro.scenarios.Scenario` fields, with per-point
+  deterministic seed derivation;
+- :mod:`repro.campaign.runner`    -- the multiprocessing campaign runner
+  (per-run timeout, bounded retry, live progress);
+- :mod:`repro.campaign.store`     -- content-addressed JSONL result store
+  (cache hits skip completed points; interrupted campaigns resume);
+- :mod:`repro.campaign.aggregate` -- join records back into the aligned
+  console tables and markdown tables the repo already uses;
+- :mod:`repro.campaign.worker`    -- the pure per-point worker function.
+
+Quickstart::
+
+    from repro.campaign import CampaignRunner, ResultStore, Sweep
+    from repro.scenarios import Scenario
+
+    sweep = Sweep(base=Scenario(horizon=5_000),
+                  axes={"n": [4, 8, 12], "l": [1, 2]})
+    result = CampaignRunner(sweep, ResultStore(".campaign/demo")).run()
+    print(result.table(["n", "l", "delivered", "worst_rotation"]))
+
+CLI: ``python -m repro sweep --axis n=4,8,12 --axis l=1,2``.
+"""
+
+from repro.campaign.aggregate import (aligned_table, campaign_markdown,
+                                      campaign_table, default_columns,
+                                      get_field)
+from repro.campaign.runner import (CampaignResult, CampaignRunner,
+                                   PointFailure, ProgressPrinter)
+from repro.campaign.store import RESULT_SCHEMA, ResultStore, point_hash
+from repro.campaign.sweep import (Sweep, SweepPoint, sweep_from_dict,
+                                  sweep_to_dict)
+from repro.campaign.worker import normalize_record, run_point
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "PointFailure",
+    "ProgressPrinter",
+    "RESULT_SCHEMA",
+    "ResultStore",
+    "Sweep",
+    "SweepPoint",
+    "aligned_table",
+    "campaign_markdown",
+    "campaign_table",
+    "default_columns",
+    "get_field",
+    "normalize_record",
+    "point_hash",
+    "run_point",
+    "sweep_from_dict",
+    "sweep_to_dict",
+]

@@ -1,0 +1,124 @@
+"""Aggregation: join campaign records back into the repo's table formats.
+
+Campaign records are plain dicts (``scenario``, ``summary``, ``point``,
+``hash``...).  This module extracts columns from them and renders the same
+aligned console tables the benchmark harness prints
+(:func:`aligned_table` is the single implementation behind
+``benchmarks/_harness.print_table``) and the markdown tables
+``analysis/report.py`` builds for ``EXPERIMENTS.md``.
+
+A column spec is either
+
+* a field path string — looked up in the record itself, then its
+  ``summary``, then its ``scenario`` (dotted paths reach nested dicts:
+  ``"traffic.rate"``, ``"config.seed"``); the header is the path; or
+* a ``(header, path_or_callable)`` pair — a callable receives the whole
+  record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, \
+    Tuple, Union
+
+from repro.analysis.report import markdown_table
+
+__all__ = ["aligned_table", "get_field", "campaign_columns",
+           "campaign_table", "campaign_markdown", "default_columns"]
+
+ColumnSpec = Union[str, Tuple[str, Union[str, Callable[[Mapping], Any]]]]
+
+
+def aligned_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Right-aligned console table (floats rendered as ``%.3f``)."""
+    cells = [[f"{v:.3f}" if isinstance(v, float) else str(v) for v in row]
+             for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def get_field(record: Mapping[str, Any], path: str) -> Any:
+    """Resolve a dotted field path against record / summary / scenario."""
+    roots = (record, record.get("summary") or {}, record.get("scenario") or {})
+    parts = path.split(".")
+    for root in roots:
+        node: Any = root
+        for part in parts:
+            if isinstance(node, Mapping) and part in node:
+                node = node[part]
+            else:
+                break
+        else:
+            return node
+    return None
+
+
+def _resolve(record: Mapping[str, Any], spec: ColumnSpec) -> Any:
+    accessor = spec[1] if isinstance(spec, tuple) else spec
+    if callable(accessor):
+        value = accessor(record)
+    else:
+        value = get_field(record, accessor)
+    return "-" if value is None else value
+
+
+def _header(spec: ColumnSpec) -> str:
+    return spec[0] if isinstance(spec, tuple) else spec
+
+
+def campaign_columns(records: Sequence[Mapping[str, Any]],
+                     columns: Sequence[ColumnSpec],
+                     ) -> Tuple[List[str], List[List[Any]]]:
+    """Extract ``(headers, rows)`` from campaign records, in record order."""
+    headers = [_header(c) for c in columns]
+    rows = [[_resolve(r, c) for c in columns] for r in records]
+    return headers, rows
+
+
+def campaign_table(records: Sequence[Mapping[str, Any]],
+                   columns: Sequence[ColumnSpec],
+                   title: Optional[str] = None) -> str:
+    """The aligned console table over ``records`` (optionally titled)."""
+    headers, rows = campaign_columns(records, columns)
+    table = aligned_table(headers, rows)
+    return f"=== {title} ===\n{table}" if title else table
+
+
+def campaign_markdown(records: Sequence[Mapping[str, Any]],
+                      columns: Sequence[ColumnSpec]) -> str:
+    """The GitHub-markdown table over ``records`` (EXPERIMENTS.md shape)."""
+    headers, rows = campaign_columns(records, columns)
+    return markdown_table(headers, rows)
+
+
+def default_columns(sweep, records: Sequence[Mapping[str, Any]]
+                    ) -> List[ColumnSpec]:
+    """Axis fields first, then the headline summary metrics."""
+    axis_fields: List[str] = []
+    if getattr(sweep, "axes", None):
+        axis_fields = list(sweep.axes)
+    elif getattr(sweep, "points", None):
+        seen: Dict[str, None] = {}
+        for point in sweep.points:
+            for key in point:
+                seen.setdefault(key)
+        axis_fields = list(seen)
+    metrics = ["delivered", "goodput_per_slot", "worst_rotation",
+               "rotation_bound", "bound_holds"]
+    def axis_accessor(name: str) -> Callable[[Mapping], Any]:
+        def access(record: Mapping[str, Any], _name=name) -> Any:
+            overrides = record.get("point") or {}
+            if _name in overrides:       # overrides keep dotted keys flat
+                return overrides[_name]
+            return get_field(record, _name)
+        return access
+
+    columns: List[ColumnSpec] = []
+    for name in axis_fields:
+        columns.append((name, axis_accessor(name)))
+    columns.extend(m for m in metrics if m not in axis_fields)
+    return columns

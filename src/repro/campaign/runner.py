@@ -1,0 +1,310 @@
+"""The campaign runner: fan sweep points over worker processes.
+
+:class:`CampaignRunner` executes a :class:`~repro.campaign.sweep.Sweep`:
+
+* points already present in the :class:`~repro.campaign.store.ResultStore`
+  are *cache hits* and are not re-run (this is what makes an interrupted
+  campaign resumable — completed points were flushed to the store's JSONL
+  before the crash);
+* remaining points run on a pool of worker processes (one process per
+  point, bounded concurrency) with a per-run timeout and bounded retry on
+  worker failure;
+* ``workers=0`` runs everything serially in-process (deterministically
+  identical results — the worker function is a pure function of the
+  scenario dict);
+* progress is reported live through a callback (default: one line per
+  event on stderr).
+
+The result is a :class:`CampaignResult` whose records are ordered by sweep
+point — not by completion — so aggregated tables are byte-identical no
+matter how the campaign was scheduled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.campaign.store import ResultStore, point_hash
+from repro.campaign.sweep import Sweep, SweepPoint
+from repro.campaign.worker import _child_entry, normalize_record, run_point
+
+__all__ = ["CampaignRunner", "CampaignResult", "PointFailure",
+           "ProgressPrinter"]
+
+ProgressFn = Callable[..., None]
+
+
+@dataclass
+class PointFailure:
+    """A point that exhausted its retries."""
+
+    point: SweepPoint
+    error: str
+    attempts: int
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (possibly partially failed) campaign produced."""
+
+    sweep: Sweep
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    failures: List[PointFailure] = field(default_factory=list)
+    cached: int = 0
+    ran: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def table(self, columns: Sequence, title: Optional[str] = None) -> str:
+        """Aligned table over the records (see campaign.aggregate)."""
+        from repro.campaign.aggregate import campaign_table
+        return campaign_table(self.records, columns, title=title)
+
+
+class ProgressPrinter:
+    """Default progress reporter: one stderr line per campaign event."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.total = 0
+        self.done = 0
+
+    def __call__(self, event: str, point: Optional[SweepPoint] = None,
+                 **info: Any) -> None:
+        if event == "begin":
+            self.total = info["total"]
+            print(f"campaign: {info['total']} points, "
+                  f"{info['cached']} cached, {info['pending']} to run "
+                  f"(workers={info['workers']})", file=self.stream)
+            return
+        if event in ("cached", "done", "failed"):
+            self.done += 1
+        label = point.label() if point is not None else ""
+        prefix = f"[{self.done:3d}/{self.total}]"
+        if event == "cached":
+            print(f"{prefix} cached  {label}", file=self.stream)
+        elif event == "start":
+            pass  # one line per finished point keeps the log readable
+        elif event == "done":
+            print(f"{prefix} done    {label}  {info['elapsed']:.2f}s",
+                  file=self.stream)
+        elif event == "retry":
+            print(f"[retry {info['attempt']}] {label}: {info['reason']}",
+                  file=self.stream)
+        elif event == "failed":
+            print(f"{prefix} FAILED  {label}: {info['reason']}",
+                  file=self.stream)
+        self.stream.flush()
+
+
+@dataclass
+class _Active:
+    point: SweepPoint
+    proc: multiprocessing.Process
+    conn: Any
+    started: float
+    attempt: int
+
+
+class CampaignRunner:
+    """Run a sweep against a store, in parallel, with retry and resume."""
+
+    def __init__(self, sweep: Sweep, store: Optional[ResultStore] = None,
+                 workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 1,
+                 progress: Optional[ProgressFn] = None):
+        if workers is not None and workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.sweep = sweep
+        self.store = store
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress if progress is not None else ProgressPrinter()
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        points = self.sweep.expand()
+        hashes = {p.index: point_hash(p.scenario_dict) for p in points}
+
+        records: Dict[int, Dict[str, Any]] = {}
+        pending: List[SweepPoint] = []
+        cached = 0
+        for point in points:
+            hit = self.store.get(hashes[point.index]) if self.store else None
+            if hit is not None:
+                records[point.index] = self._decorate(hit, point,
+                                                      hashes[point.index],
+                                                      from_cache=True)
+                cached += 1
+            else:
+                pending.append(point)
+
+        workers = self.workers
+        if workers is None:
+            workers = min(len(pending), os.cpu_count() or 2)
+        self.progress("begin", total=len(points), cached=cached,
+                      pending=len(pending), workers=workers)
+        for point in points:
+            if point.index in records:
+                self.progress("cached", point)
+
+        failures: List[PointFailure] = []
+        if pending:
+            if workers == 0:
+                self._run_serial(pending, hashes, records, failures)
+            else:
+                self._run_parallel(pending, hashes, records, failures,
+                                   workers)
+        if self.store is not None:
+            self.store.write_index()
+
+        ordered = [records[p.index] for p in points if p.index in records]
+        return CampaignResult(sweep=self.sweep, records=ordered,
+                              failures=failures, cached=cached,
+                              ran=len(points) - cached - len(failures))
+
+    # ------------------------------------------------------------------
+    def _decorate(self, record: Dict[str, Any], point: SweepPoint,
+                  key: str, from_cache: bool) -> Dict[str, Any]:
+        record = dict(record)
+        record.setdefault("hash", key)
+        record["point"] = point.overrides
+        record["index"] = point.index
+        record["label"] = point.label()
+        record["cached"] = from_cache
+        return record
+
+    def _complete(self, point: SweepPoint, key: str,
+                  record: Dict[str, Any],
+                  records: Dict[int, Dict[str, Any]], elapsed: float) -> None:
+        record = normalize_record(record)
+        record["hash"] = key
+        record["label"] = point.label()
+        if self.store is not None:
+            self.store.put(record)
+        records[point.index] = self._decorate(record, point, key,
+                                              from_cache=False)
+        self.progress("done", point, elapsed=elapsed)
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, pending: Sequence[SweepPoint],
+                    hashes: Dict[int, str],
+                    records: Dict[int, Dict[str, Any]],
+                    failures: List[PointFailure]) -> None:
+        """In-process execution (no per-run timeout enforcement)."""
+        import traceback
+        for point in pending:
+            last_error = ""
+            for attempt in range(1, self.retries + 2):
+                self.progress("start", point, attempt=attempt)
+                start = time.perf_counter()
+                try:
+                    record = run_point(point.scenario_dict)
+                except Exception:
+                    last_error = traceback.format_exc()
+                    if attempt <= self.retries:
+                        self.progress("retry", point, attempt=attempt,
+                                      reason=_head(last_error))
+                    continue
+                self._complete(point, hashes[point.index], record, records,
+                               time.perf_counter() - start)
+                break
+            else:
+                failures.append(PointFailure(point, last_error,
+                                             self.retries + 1))
+                self.progress("failed", point, reason=_head(last_error))
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, pending: Sequence[SweepPoint],
+                      hashes: Dict[int, str],
+                      records: Dict[int, Dict[str, Any]],
+                      failures: List[PointFailure], workers: int) -> None:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        queue = deque(pending)
+        active: Dict[int, _Active] = {}
+
+        def launch(point: SweepPoint, attempt: int) -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_child_entry,
+                               args=(child_conn, point.scenario_dict))
+            proc.start()
+            child_conn.close()
+            active[point.index] = _Active(point, proc, parent_conn,
+                                          time.perf_counter(), attempt)
+            self.progress("start", point, attempt=attempt)
+
+        def retry_or_fail(run: _Active, reason: str) -> None:
+            if run.attempt <= self.retries:
+                self.progress("retry", run.point, attempt=run.attempt,
+                              reason=_head(reason))
+                launch(run.point, run.attempt + 1)
+            else:
+                failures.append(PointFailure(run.point, reason, run.attempt))
+                self.progress("failed", run.point, reason=_head(reason))
+
+        import json as _json
+        while queue or active:
+            while queue and len(active) < workers:
+                launch(queue.popleft(), attempt=1)
+            made_progress = False
+            for index in list(active):
+                run = active[index]
+                now = time.perf_counter()
+                outcome = None  # (status, payload)
+                if run.conn.poll():
+                    try:
+                        outcome = run.conn.recv()
+                    except EOFError:
+                        outcome = ("error", "worker died without a result "
+                                            f"(exitcode {run.proc.exitcode})")
+                elif not run.proc.is_alive():
+                    outcome = ("error", "worker died without a result "
+                                        f"(exitcode {run.proc.exitcode})")
+                elif (self.timeout is not None
+                      and now - run.started > self.timeout):
+                    self._kill(run.proc)
+                    outcome = ("error",
+                               f"timeout after {self.timeout:.1f}s")
+                if outcome is None:
+                    continue
+                made_progress = True
+                run.proc.join()
+                run.conn.close()
+                del active[index]
+                status, payload = outcome
+                if status == "ok":
+                    self._complete(run.point, hashes[index],
+                                   _json.loads(payload), records,
+                                   time.perf_counter() - run.started)
+                else:
+                    retry_or_fail(run, payload)
+            if not made_progress:
+                time.sleep(0.01)
+
+    @staticmethod
+    def _kill(proc: multiprocessing.Process) -> None:
+        proc.terminate()
+        proc.join(1.0)
+        if proc.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+            proc.kill()
+            proc.join(1.0)
+
+
+def _head(text: str, limit: int = 120) -> str:
+    lines = [ln for ln in text.strip().splitlines() if ln.strip()]
+    tail = lines[-1] if lines else text.strip()
+    return tail[:limit]

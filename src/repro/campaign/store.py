@@ -1,0 +1,118 @@
+"""Content-addressed campaign result store: append-only JSONL + index.
+
+Each completed sweep point is one JSON line in ``results.jsonl``, keyed by
+a stable content hash of its fully-resolved scenario dict plus the
+code-relevant configuration (package version and result-schema version).
+Identical points therefore share a key across campaigns, re-running a
+campaign skips every point already in the store, and an interrupted
+campaign resumes exactly where it stopped — the JSONL is flushed per
+record, and a truncated trailing line (a crash mid-write) is ignored on
+reload.
+
+``index.json`` is a regenerable convenience view (hash → line number,
+point labels, counts) written after each campaign; the JSONL is always the
+source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from repro import __version__
+from repro.campaign.sweep import canonical_json
+
+__all__ = ["ResultStore", "point_hash", "RESULT_SCHEMA"]
+
+#: bump to invalidate every cached result when the record shape changes
+RESULT_SCHEMA = 1
+
+
+def point_hash(scenario_dict: Mapping[str, Any]) -> str:
+    """Stable content hash of one sweep point.
+
+    Covers the complete scenario description and the code-relevant config
+    (package version, result schema), so results cached by an older code
+    revision are never silently reused.
+    """
+    material = canonical_json({"scenario": scenario_dict,
+                               "schema": RESULT_SCHEMA,
+                               "version": __version__})
+    return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+
+class ResultStore:
+    """Campaign results under one directory, addressable by point hash."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.results_path = self.root / "results.jsonl"
+        self.index_path = self.root / "index.json"
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.results_path.exists():
+            return
+        with self.results_path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # crash mid-write left a truncated tail; the point will
+                    # simply be re-run
+                    continue
+                key = record.get("hash")
+                if key:
+                    self._records[key] = record
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._records.values())
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._records.get(key)
+
+    # ------------------------------------------------------------------
+    def put(self, record: Dict[str, Any]) -> None:
+        """Append one completed-point record (must carry ``"hash"``)."""
+        key = record.get("hash")
+        if not key:
+            raise ValueError("record needs a 'hash' key")
+        if key in self._records:
+            return
+        with self.results_path.open("a") as fh:
+            fh.write(canonical_json(record) + "\n")
+            fh.flush()
+        self._records[key] = record
+
+    def write_index(self) -> None:
+        """Regenerate ``index.json`` from the in-memory view."""
+        entries = {}
+        for line_no, record in enumerate(self._records.values()):
+            entries[record["hash"]] = {
+                "line": line_no,
+                "label": record.get("label", ""),
+            }
+        payload = {
+            "schema": RESULT_SCHEMA,
+            "version": __version__,
+            "count": len(entries),
+            "results": "results.jsonl",
+            "points": entries,
+        }
+        self.index_path.write_text(json.dumps(payload, indent=2,
+                                              sort_keys=True) + "\n")

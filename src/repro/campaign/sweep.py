@@ -1,0 +1,182 @@
+"""Declarative sweep specs: grid / zip / explicit points over Scenario fields.
+
+Every figure of the paper is a *sweep* — vary one or more :class:`Scenario`
+fields, run the stack at each point, tabulate.  A :class:`Sweep` captures
+that declaratively:
+
+* ``axes`` with ``mode="grid"`` — the cartesian product of the axis values
+  (the usual N × l × k table);
+* ``axes`` with ``mode="zip"`` — the axes advance in lockstep (e.g. a
+  horizon that grows with N);
+* ``points`` — an explicit list of override dicts when the point set is
+  irregular.
+
+Axis/override keys address fields of the scenario *dict*
+(:func:`repro.config_io.scenario_to_dict`); dotted keys reach nested
+fields (``"traffic.rate"``, ``"mobility.wander_radius"``).
+
+Unless a point overrides ``seed`` itself, each point receives an
+independent deterministic seed derived from the sweep's master seed via
+:meth:`repro.sim.rng.RandomStreams.derive`, keyed by the point's canonical
+override string — so adding, removing or reordering points never changes
+any other point's sample path, and the whole campaign reproduces from one
+integer.  ``derive_seeds=False`` keeps the base scenario's seed everywhere
+(common-random-number comparisons).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.config_io import scenario_from_dict, scenario_to_dict
+from repro.scenarios import Scenario
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Sweep", "SweepPoint", "sweep_from_dict", "sweep_to_dict"]
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic compact JSON — the basis of point keys and hashes."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def apply_overrides(base: Dict[str, Any],
+                    overrides: Mapping[str, Any]) -> Dict[str, Any]:
+    """A deep copy of ``base`` with dotted-key ``overrides`` applied."""
+    out = json.loads(json.dumps(base))
+    for key, value in overrides.items():
+        parts = key.split(".")
+        node = out
+        for part in parts[:-1]:
+            nxt = node.get(part)
+            if not isinstance(nxt, dict):
+                nxt = {}
+                node[part] = nxt
+            node = nxt
+        node[parts[-1]] = value
+    return out
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One materialized point of a sweep."""
+
+    index: int                      #: position in sweep order
+    overrides: Dict[str, Any]       #: the dotted-key overrides of this point
+    scenario_dict: Dict[str, Any]   #: fully resolved scenario description
+    key: str                        #: canonical JSON of ``overrides``
+
+    def scenario(self) -> Scenario:
+        return scenario_from_dict(self.scenario_dict)
+
+    def label(self) -> str:
+        """Short human-readable tag, e.g. ``n=8,l=2``."""
+        if not self.overrides:
+            return f"point{self.index}"
+        return ",".join(f"{k}={_short(v)}" for k, v in
+                        sorted(self.overrides.items()))
+
+
+def _short(value: Any) -> str:
+    text = canonical_json(value) if isinstance(value, (dict, list)) \
+        else str(value)
+    return text if len(text) <= 24 else text[:21] + "..."
+
+
+@dataclass
+class Sweep:
+    """A declarative campaign: base scenario + the points to visit."""
+
+    base: Scenario = field(default_factory=Scenario)
+    axes: Optional[Mapping[str, Sequence[Any]]] = None
+    mode: str = "grid"                       # "grid" | "zip"
+    points: Optional[Sequence[Mapping[str, Any]]] = None
+    name: str = ""
+    seed: int = 0                            #: master seed for derivation
+    derive_seeds: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("grid", "zip"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}")
+        if (self.axes is None) == (self.points is None):
+            raise ValueError("give exactly one of axes= or points=")
+        if self.axes is not None:
+            lengths = {k: len(list(v)) for k, v in self.axes.items()}
+            if any(n == 0 for n in lengths.values()):
+                raise ValueError(f"empty sweep axis in {lengths}")
+            if self.mode == "zip" and len(set(lengths.values())) > 1:
+                raise ValueError(f"zip axes must have equal lengths, "
+                                 f"got {lengths}")
+
+    # ------------------------------------------------------------------
+    def _override_sets(self) -> List[Dict[str, Any]]:
+        if self.points is not None:
+            return [dict(p) for p in self.points]
+        keys = list(self.axes)
+        values = [list(self.axes[k]) for k in keys]
+        if self.mode == "zip":
+            combos = zip(*values)
+        else:
+            combos = itertools.product(*values)
+        return [dict(zip(keys, combo)) for combo in combos]
+
+    def expand(self) -> List[SweepPoint]:
+        """Materialize every point, in deterministic sweep order."""
+        base_dict = scenario_to_dict(self.base)
+        streams = RandomStreams(self.seed)
+        out: List[SweepPoint] = []
+        seen: Dict[str, int] = {}
+        for index, overrides in enumerate(self._override_sets()):
+            key = canonical_json(overrides)
+            if key in seen:
+                raise ValueError(f"duplicate sweep point {key} "
+                                 f"(indices {seen[key]} and {index})")
+            seen[key] = index
+            scenario_dict = apply_overrides(base_dict, overrides)
+            if self.derive_seeds and "seed" not in overrides:
+                scenario_dict["seed"] = streams.derive(key)
+            out.append(SweepPoint(index=index, overrides=dict(overrides),
+                                  scenario_dict=scenario_dict, key=key))
+        return out
+
+    def spec_hash_material(self) -> str:
+        """Canonical description of the sweep (for default naming)."""
+        return canonical_json(sweep_to_dict(self))
+
+
+# ----------------------------------------------------------------------
+def sweep_to_dict(sweep: Sweep) -> Dict[str, Any]:
+    """JSON-serializable description of ``sweep``."""
+    out: Dict[str, Any] = {
+        "base": scenario_to_dict(sweep.base),
+        "mode": sweep.mode,
+        "seed": sweep.seed,
+        "derive_seeds": sweep.derive_seeds,
+    }
+    if sweep.name:
+        out["name"] = sweep.name
+    if sweep.axes is not None:
+        out["axes"] = {k: list(v) for k, v in sweep.axes.items()}
+    if sweep.points is not None:
+        out["points"] = [dict(p) for p in sweep.points]
+    return out
+
+
+def sweep_from_dict(data: Mapping[str, Any]) -> Sweep:
+    """Build a Sweep from the dict shape :func:`sweep_to_dict` emits."""
+    known = {"base", "mode", "seed", "derive_seeds", "name", "axes", "points"}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown sweep keys: {sorted(unknown)}")
+    base = scenario_from_dict(data.get("base", {}))
+    return Sweep(base=base,
+                 axes=data.get("axes"),
+                 mode=data.get("mode", "grid"),
+                 points=data.get("points"),
+                 name=data.get("name", ""),
+                 seed=data.get("seed", 0),
+                 derive_seeds=data.get("derive_seeds", True))

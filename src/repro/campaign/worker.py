@@ -1,0 +1,59 @@
+"""Per-point campaign execution — the function that runs inside workers.
+
+Kept deliberately tiny and top-level so it is importable under both the
+``fork`` and ``spawn`` multiprocessing start methods.  A point's result is
+a pure function of its scenario dict (the RNG state is rebuilt from the
+scenario seed inside :func:`repro.scenarios.run_scenario`), which is the
+correctness assumption behind the content-addressed cache: running a point
+in-process, in a worker, or on another day must produce the same record.
+
+Records are normalized through a JSON round trip on every path, so cached,
+serial and parallel results compare (and tabulate) byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from typing import Any, Dict
+
+from repro.campaign.sweep import canonical_json
+
+__all__ = ["run_point", "normalize_record"]
+
+
+def run_point(scenario_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one fully-resolved scenario dict; return its result record."""
+    from repro.config_io import scenario_from_dict
+    from repro.scenarios import run_scenario
+
+    start = time.perf_counter()
+    result = run_scenario(scenario_from_dict(scenario_dict))
+    return {
+        "scenario": scenario_dict,
+        "summary": result.summary(),
+        "elapsed": round(time.perf_counter() - start, 3),
+    }
+
+
+def normalize_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Force ``record`` through JSON so every execution path yields the
+    exact same value types (tuples → lists, objects → strings, ...)."""
+    return json.loads(canonical_json(record))
+
+
+def _child_entry(conn, scenario_dict: Dict[str, Any]) -> None:
+    """Subprocess entry: send ("ok", record-json) or ("error", traceback)."""
+    try:
+        payload = canonical_json(run_point(scenario_dict))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    try:
+        conn.send(("ok", payload))
+    finally:
+        conn.close()

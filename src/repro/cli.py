@@ -1,17 +1,19 @@
 """Command-line interface.
 
-Four subcommands, mirroring the library's main entry points::
+Five subcommands, mirroring the library's main entry points::
 
     python -m repro simulate  --n 8 --l 2 --k 1 --horizon 20000 [--traffic ...]
+    python -m repro sweep     --axis n=4,8,12 --axis l=1,2 [--workers 4]
     python -m repro bounds    --n 8 --l 2 --k 1 [--t-rap 9] [--backlog 4]
     python -m repro compare   --n 8 --quota 3 --horizon 10000
     python -m repro allocate  --demands rate:deadline:backlog,... [--scheme local]
 
 ``simulate`` runs a full scenario (optionally with mobility and scripted
-faults) and prints the summary; ``bounds`` evaluates the paper's closed
-forms; ``compare`` runs the WRT-Ring-vs-TPT trio (round trip, capacity,
-failure reaction); ``allocate`` sizes the guaranteed quotas for a demand
-set.
+faults) and prints the summary; ``sweep`` runs a whole campaign of
+scenarios in parallel with cached, resumable results (see
+docs/CAMPAIGNS.md); ``bounds`` evaluates the paper's closed forms;
+``compare`` runs the WRT-Ring-vs-TPT trio (round trip, capacity, failure
+reaction); ``allocate`` sizes the guaranteed quotas for a demand set.
 """
 
 from __future__ import annotations
@@ -57,6 +59,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma list of station:time announced departures")
     sim.add_argument("--check-invariants", action="store_true")
     sim.add_argument("--json", action="store_true", help="JSON summary")
+
+    sw = sub.add_parser("sweep", help="run a scenario-sweep campaign "
+                                      "(parallel, cached, resumable)")
+    sw.add_argument("--config", type=str, default=None,
+                    help="JSON sweep file: {base, mode, axes|points, seed,"
+                         " name} (overrides the axis/base flags)")
+    sw.add_argument("--axis", action="append", default=[],
+                    metavar="FIELD=V1,V2,...",
+                    help="sweep axis over a scenario field (repeatable; "
+                         "dotted fields like traffic.rate allowed)")
+    sw.add_argument("--mode", choices=["grid", "zip"], default="grid",
+                    help="combine axes as cartesian product or in lockstep")
+    sw.add_argument("--n", type=int, default=8)
+    sw.add_argument("--l", type=int, default=2)
+    sw.add_argument("--k", type=int, default=1)
+    sw.add_argument("--horizon", type=float, default=10_000.0)
+    sw.add_argument("--seed", type=int, default=0,
+                    help="campaign master seed (per-point seeds derive "
+                         "from it)")
+    sw.add_argument("--traffic", choices=["none", "poisson", "cbr", "video",
+                                          "backlog", "saturate"],
+                    default="poisson")
+    sw.add_argument("--rate", type=float, default=0.05)
+    sw.add_argument("--period", type=float, default=20.0)
+    sw.add_argument("--store", type=str, default=None,
+                    help="result-store directory "
+                         "(default .campaign/<sweep name>)")
+    sw.add_argument("--workers", type=int, default=None,
+                    help="worker processes (0 = serial in-process; "
+                         "default: CPU count)")
+    sw.add_argument("--timeout", type=float, default=None,
+                    help="per-point timeout in seconds")
+    sw.add_argument("--retries", type=int, default=1,
+                    help="retries per point after a worker failure")
+    sw.add_argument("--columns", type=str, default=None,
+                    help="comma list of table columns (summary/scenario "
+                         "fields)")
+    sw.add_argument("--json", action="store_true",
+                    help="emit the full result records as JSON")
+    sw.add_argument("--quiet", action="store_true",
+                    help="suppress per-point progress lines")
 
     bounds = sub.add_parser("bounds", help="evaluate the Sec. 2.6 closed forms")
     bounds.add_argument("--n", type=int, required=True)
@@ -152,6 +195,81 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     result = run_scenario(scenario)
     _emit(result.summary(), args.json)
     return 0
+
+
+def _parse_axis_value(text: str):
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_axes(entries: List[str]) -> dict:
+    axes = {}
+    for entry in entries:
+        name, sep, values = entry.partition("=")
+        if not sep or not values:
+            raise SystemExit(f"bad --axis entry {entry!r}; "
+                             f"expected FIELD=V1,V2,...")
+        axes[name] = [_parse_axis_value(v) for v in values.split(",")]
+    return axes
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import hashlib
+
+    from repro.campaign import (CampaignRunner, ProgressPrinter, ResultStore,
+                                Sweep, campaign_table, default_columns,
+                                sweep_from_dict)
+    from repro.scenarios import Scenario, TrafficMix
+
+    if args.config is not None:
+        from pathlib import Path
+        sweep = sweep_from_dict(json.loads(Path(args.config).read_text()))
+    else:
+        axes = _parse_axes(args.axis)
+        if not axes:
+            raise SystemExit("give at least one --axis (or --config)")
+        base = Scenario(n=args.n, l=args.l, k=args.k, horizon=args.horizon,
+                        seed=args.seed,
+                        traffic=TrafficMix(kind=args.traffic, rate=args.rate,
+                                           period=args.period))
+        sweep = Sweep(base=base, axes=axes, mode=args.mode, seed=args.seed)
+
+    name = sweep.name or "sweep-" + hashlib.sha256(
+        sweep.spec_hash_material().encode()).hexdigest()[:8]
+    store_dir = args.store or f".campaign/{name}"
+    store = ResultStore(store_dir)
+
+    progress = ((lambda event, point=None, **info: None) if args.quiet
+                else ProgressPrinter())
+    if not args.quiet:
+        print(f"sweep {name}: store {store_dir} "
+              f"({len(store)} results on disk)", file=sys.stderr)
+    runner = CampaignRunner(sweep, store, workers=args.workers,
+                            timeout=args.timeout, retries=args.retries,
+                            progress=progress)
+    result = runner.run()
+
+    if args.json:
+        print(json.dumps(result.records, indent=2, default=str))
+    else:
+        if args.columns:
+            columns = [c.strip() for c in args.columns.split(",")]
+        else:
+            columns = default_columns(sweep, result.records)
+        # stdout carries only the deterministic table (identical no matter
+        # how the campaign was scheduled or resumed); counts go to stderr
+        print(f"{result.cached} cached, {result.ran} ran, "
+              f"{len(result.failures)} failed", file=sys.stderr)
+        print(campaign_table(result.records, columns,
+                             title=f"sweep {name}: "
+                                   f"{len(result.records)} points"))
+    for failure in result.failures:
+        print(f"FAILED {failure.point.label()} "
+              f"after {failure.attempts} attempts:\n{failure.error}",
+              file=sys.stderr)
+    return 0 if result.ok else 1
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -287,6 +405,7 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
     "bounds": _cmd_bounds,
     "compare": _cmd_compare,
     "allocate": _cmd_allocate,

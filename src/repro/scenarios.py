@@ -51,7 +51,10 @@ class TrafficMix:
 
     ``kind``: ``"cbr"`` (needs ``period``), ``"poisson"`` (needs ``rate``),
     ``"video"`` (needs ``period`` as the frame interval), ``"backlog"``
-    (saturating), or ``"none"``.
+    (saturating the ``service`` queue), ``"saturate"`` (worst-case load:
+    both the Premium and the best-effort queue of every station kept
+    backlogged, the pattern of the Sec. 2.6 bound experiments), or
+    ``"none"``.
     """
 
     kind: str = "poisson"
@@ -62,7 +65,8 @@ class TrafficMix:
     neighbours_only: bool = False
 
     def __post_init__(self) -> None:
-        if self.kind not in ("cbr", "poisson", "video", "backlog", "none"):
+        if self.kind not in ("cbr", "poisson", "video", "backlog",
+                             "saturate", "none"):
             raise ValueError(f"unknown traffic kind {self.kind!r}")
 
 
@@ -125,9 +129,32 @@ class ScenarioResult:
     trace: TraceRecorder
     checker: Optional[RingInvariantChecker]
 
+    def resolved_config(self) -> Dict[str, object]:
+        """The resolved run configuration, echoed in every summary so a run
+        is reproducible from its output alone (CLI ``--json`` and campaign
+        result records share this shape)."""
+        scn = self.scenario
+        mix = scn.traffic
+        return {
+            "n": scn.n,
+            "l": scn.l,
+            "k": scn.k,
+            "seed": scn.seed,
+            "horizon": scn.horizon,
+            "traffic": {
+                "kind": mix.kind,
+                "rate": mix.rate,
+                "period": mix.period,
+                "service": mix.service.name.lower(),
+                "deadline": mix.deadline,
+                "neighbours_only": mix.neighbours_only,
+            },
+        }
+
     def summary(self) -> Dict[str, object]:
         net = self.network
         out: Dict[str, object] = {
+            "config": self.resolved_config(),
             "members": list(net.members),
             "network_down": net.network_down,
             "delivered": net.metrics.total_delivered,
@@ -153,8 +180,12 @@ class ScenarioResult:
             bound = sat_rotation_bound(S, net.config.effective_t_rap(), quotas)
             out["worst_rotation"] = max(samples)
             out["mean_rotation"] = sum(samples) / len(samples)
+            out["rotation_samples"] = len(samples)
             out["rotation_bound"] = bound
             out["bound_holds"] = max(samples) < bound
+        if net.recovery.records:
+            out["recovery_delays"] = [r.total_delay
+                                      for r in net.recovery.records]
         deadlines = net.metrics.deadlines
         if deadlines.total:
             out["deadline_miss_ratio"] = deadlines.miss_ratio
@@ -204,7 +235,17 @@ def _attach_traffic(scn: Scenario, net: WRTRingNetwork,
         elif mix.kind == "video":
             wl.add_video(flow, frame_interval=mix.period)
         elif mix.kind == "backlog":
-            wl.add_backlog(flow, target=15)
+            wl.add_backlog(flow, target=15,
+                           destinations=[dst] if mix.neighbours_only else None)
+        elif mix.kind == "saturate":
+            dsts = [dst] if mix.neighbours_only else None
+            wl.add_backlog(FlowSpec(src=sid, dst=dst,
+                                    service=ServiceClass.PREMIUM,
+                                    deadline=mix.deadline),
+                           target=15, destinations=dsts)
+            wl.add_backlog(FlowSpec(src=sid, dst=dst,
+                                    service=ServiceClass.BEST_EFFORT),
+                           target=15, destinations=dsts)
     return wl
 
 

@@ -63,6 +63,17 @@ class RandomStreams:
             self._np_streams[name] = rng
         return rng
 
+    def derive(self, name: str) -> int:
+        """A deterministic child *seed* (not a generator) for ``name``.
+
+        Used where a seed must cross a serialization or process boundary —
+        e.g. a campaign sweep deriving one independent scenario seed per
+        sweep point — while keeping the whole family reproducible from the
+        single master seed.  Disjoint from the :meth:`stream` /
+        :meth:`numpy_stream` / :meth:`fork` namespaces.
+        """
+        return _derive_seed(self.master_seed, "seed:" + name)
+
     def fork(self, name: str) -> "RandomStreams":
         """A child factory whose streams are independent of the parent's."""
         return RandomStreams(_derive_seed(self.master_seed, "fork:" + name))

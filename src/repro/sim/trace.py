@@ -71,7 +71,7 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
-    def record(self, time: float, category: str, **fields: Any) -> None:
+    def record(self, time: float, category: str, /, **fields: Any) -> None:
         if not self.is_enabled(category):
             return
         self.events.append(TraceEvent(time, category, fields))
@@ -118,6 +118,8 @@ class TraceRecorder:
     def to_jsonl(self, path) -> int:
         """Write one JSON object per event; returns the event count.
 
+        Event fields live under a dedicated ``"fields"`` key so a field
+        named ``time`` or ``category`` never collides with the event header.
         Fields that are not JSON-serializable are stringified, so traces of
         arbitrary protocol state can always be exported for offline
         analysis.
@@ -131,12 +133,17 @@ class TraceRecorder:
         with Path(path).open("w") as fh:
             for ev in self.events:
                 fh.write(json.dumps({"time": ev.time, "category": ev.category,
-                                     **ev.fields}, default=default) + "\n")
+                                     "fields": ev.fields},
+                                    default=default) + "\n")
         return len(self.events)
 
     @staticmethod
     def from_jsonl(path) -> "TraceRecorder":
-        """Reload a trace exported with :meth:`to_jsonl`."""
+        """Reload a trace exported with :meth:`to_jsonl`.
+
+        Reads both the namespaced format and the legacy flat layout (fields
+        spread beside ``time``/``category``) from older exports.
+        """
         import json
         from pathlib import Path
 
@@ -146,7 +153,11 @@ class TraceRecorder:
                 data = json.loads(line)
                 time = data.pop("time")
                 category = data.pop("category")
-                recorder.record(time, category, **data)
+                if set(data) == {"fields"} and isinstance(data["fields"], dict):
+                    fields = data["fields"]
+                else:
+                    fields = data
+                recorder.record(time, category, **fields)
         return recorder
 
     def __len__(self) -> int:
@@ -162,7 +173,7 @@ class NullTraceRecorder(TraceRecorder):
     def __init__(self) -> None:
         super().__init__(enabled=False)
 
-    def record(self, time: float, category: str, **fields: Any) -> None:  # noqa: D102
+    def record(self, time: float, category: str, /, **fields: Any) -> None:  # noqa: D102
         return None
 
     def is_enabled(self, category: str) -> bool:  # noqa: D102

@@ -74,6 +74,88 @@ class TestSimulateCommand:
         payload = json.loads(capsys.readouterr().out)
         assert "delivered" in payload
 
+    def test_json_summary_echoes_resolved_config(self, capsys):
+        rc = main(["simulate", "--n", "6", "--l", "2", "--k", "1",
+                   "--seed", "9", "--horizon", "1500",
+                   "--traffic", "poisson", "--rate", "0.03", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        config = payload["config"]
+        assert config["n"] == 6 and config["l"] == 2 and config["k"] == 1
+        assert config["seed"] == 9 and config["horizon"] == 1500.0
+        assert config["traffic"]["kind"] == "poisson"
+        assert config["traffic"]["rate"] == 0.03
+
+
+class TestSweepCommand:
+    def _run(self, tmp_path, capsys, extra=()):
+        rc = main(["sweep", "--axis", "n=4,6", "--axis", "l=1,2",
+                   "--horizon", "400", "--workers", "0",
+                   "--store", str(tmp_path / "store"), *extra])
+        captured = capsys.readouterr()
+        return rc, captured.out, captured.err
+
+    def test_grid_sweep_runs_and_tabulates(self, tmp_path, capsys):
+        rc, out, err = self._run(tmp_path, capsys)
+        assert rc == 0
+        lines = out.splitlines()
+        assert lines[0].startswith("=== sweep")
+        assert "4 points" in lines[0]
+        assert lines[1].split()[:2] == ["n", "l"]
+        assert len(lines) == 2 + 4          # title + header + 4 rows
+        assert "0 cached, 4 ran" in err
+
+    def test_rerun_hits_cache_and_table_is_identical(self, tmp_path, capsys):
+        _, cold, _ = self._run(tmp_path, capsys)
+        rc, warm, err = self._run(tmp_path, capsys)
+        assert rc == 0
+        assert warm == cold                 # byte-identical aggregation
+        assert "4 cached, 0 ran" in err
+        assert err.count("cached ") == 4    # per-point cache hits logged
+
+    def test_json_records(self, tmp_path, capsys):
+        rc, out, _ = self._run(tmp_path, capsys, extra=["--json"])
+        assert rc == 0
+        records = json.loads(out)
+        assert len(records) == 4
+        assert all("summary" in r and "scenario" in r for r in records)
+
+    def test_custom_columns(self, tmp_path, capsys):
+        rc, out, _ = self._run(tmp_path, capsys,
+                               extra=["--columns", "n,delivered,config.seed"])
+        assert rc == 0
+        header = out.splitlines()[1].split()
+        assert header == ["n", "delivered", "config.seed"]
+
+    def test_sweep_config_file(self, tmp_path, capsys):
+        spec = {"base": {"horizon": 400.0},
+                "mode": "zip",
+                "axes": {"n": [4, 6], "l": [1, 2]},
+                "name": "filecfg"}
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec))
+        rc = main(["sweep", "--config", str(path), "--workers", "0",
+                   "--store", str(tmp_path / "store")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sweep filecfg: 2 points" in out
+
+    def test_axes_required_without_config(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--store", str(tmp_path / "s")])
+
+    def test_bad_axis_entry_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--axis", "n", "--store", str(tmp_path / "s")])
+
+    def test_failed_point_sets_exit_code(self, tmp_path, capsys):
+        rc = main(["sweep", "--axis", "n=1,4", "--horizon", "200",
+                   "--workers", "0", "--retries", "0",
+                   "--store", str(tmp_path / "store")])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+
 
 class TestCompareCommand:
     def test_compare_shapes(self, capsys):

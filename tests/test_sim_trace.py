@@ -101,6 +101,28 @@ class TestExport:
         assert back.events[1].time == 2.5
         assert back.events[1]["rotation"] == 7.0
 
+    def test_round_trip_with_colliding_field_names(self, tmp_path):
+        """Fields named ``time``/``category`` must survive export intact —
+        they used to collide with the event header keys."""
+        tr = TraceRecorder()
+        tr.record(1.0, "timer", time=99.0, category="shadow", value=7)
+        tr.record(2.0, "plain", other=1)
+        path = tmp_path / "trace.jsonl"
+        assert tr.to_jsonl(path) == 2
+        back = TraceRecorder.from_jsonl(path)
+        ev = back.events[0]
+        assert ev.time == 1.0 and ev.category == "timer"
+        assert ev["time"] == 99.0 and ev["category"] == "shadow"
+        assert ev["value"] == 7
+        assert back.events[1].fields == {"other": 1}
+
+    def test_legacy_flat_format_still_loads(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text('{"time": 1.0, "category": "tx", "src": 3}\n')
+        back = TraceRecorder.from_jsonl(path)
+        assert back.events[0].category == "tx"
+        assert back.events[0]["src"] == 3
+
     def test_non_serializable_fields_stringified(self, tmp_path):
         tr = TraceRecorder()
         tr.record(1.0, "weird", payload=object())
