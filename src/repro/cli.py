@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Five subcommands, mirroring the library's main entry points::
+Six subcommands, mirroring the library's main entry points::
 
     python -m repro simulate  --n 8 --l 2 --k 1 --horizon 20000 [--traffic ...]
     python -m repro sweep     --axis n=4,8,12 --axis l=1,2 [--workers 4]
+    python -m repro fuzz      --runs 200 --seed 1 [--max-slots 1200] [--shrink]
     python -m repro bounds    --n 8 --l 2 --k 1 [--t-rap 9] [--backlog 4]
     python -m repro compare   --n 8 --quota 3 --horizon 10000
     python -m repro allocate  --demands rate:deadline:backlog,... [--scheme local]
@@ -11,9 +12,12 @@ Five subcommands, mirroring the library's main entry points::
 ``simulate`` runs a full scenario (optionally with mobility and scripted
 faults) and prints the summary; ``sweep`` runs a whole campaign of
 scenarios in parallel with cached, resumable results (see
-docs/CAMPAIGNS.md); ``bounds`` evaluates the paper's closed forms;
-``compare`` runs the WRT-Ring-vs-TPT trio (round trip, capacity, failure
-reaction); ``allocate`` sizes the guaranteed quotas for a demand set.
+docs/CAMPAIGNS.md); ``fuzz`` hammers randomized scenarios with strict
+invariants and end-of-run oracles, shrinking every failure to a replayable
+repro bundle (see docs/FUZZING.md); ``bounds`` evaluates the paper's closed
+forms; ``compare`` runs the WRT-Ring-vs-TPT trio (round trip, capacity,
+failure reaction); ``allocate`` sizes the guaranteed quotas for a demand
+set.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
@@ -100,6 +105,30 @@ def build_parser() -> argparse.ArgumentParser:
                     help="emit the full result records as JSON")
     sw.add_argument("--quiet", action="store_true",
                     help="suppress per-point progress lines")
+
+    fz = sub.add_parser("fuzz", help="randomized scenario fuzzing with "
+                                     "invariant checking, oracle validation "
+                                     "and failure shrinking")
+    fz.add_argument("--runs", type=int, default=100,
+                    help="number of fuzz cases to run")
+    fz.add_argument("--seed", type=int, default=0,
+                    help="campaign master seed (case seeds derive from it)")
+    fz.add_argument("--max-slots", type=int, default=1200,
+                    help="cap on each case's simulated horizon")
+    fz.add_argument("--shrink", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="delta-shrink failures to minimal reproducers")
+    fz.add_argument("--out", type=str, default=".fuzz",
+                    help="directory for repro bundles and the result store")
+    fz.add_argument("--store", type=str, default=None,
+                    help="result-store directory (default <out>/store)")
+    fz.add_argument("--replay", type=str, default=None, metavar="BUNDLE",
+                    help="replay a repro bundle and verify its recorded "
+                         "failures and trace hash instead of fuzzing")
+    fz.add_argument("--json", action="store_true",
+                    help="emit the full result records as JSON")
+    fz.add_argument("--quiet", action="store_true",
+                    help="suppress per-case progress lines")
 
     bounds = sub.add_parser("bounds", help="evaluate the Sec. 2.6 closed forms")
     bounds.add_argument("--n", type=int, required=True)
@@ -272,6 +301,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.campaign.store import ResultStore
+    from repro.fuzz import run_fuzz_campaign, verify_bundle
+
+    if args.replay is not None:
+        ok, result, mismatches = verify_bundle(args.replay)
+        payload = {
+            "bundle": args.replay,
+            "verified": ok,
+            "failures": [f.to_dict() for f in result.failures],
+            "trace_hash": result.trace_hash,
+            "events_executed": result.events_executed,
+            "mismatches": mismatches,
+        }
+        _emit(payload, args.json)
+        return 0 if ok else 1
+
+    store_dir = args.store or str(Path(args.out) / "store")
+    store = ResultStore(store_dir)
+    progress = ((lambda line: None) if args.quiet
+                else (lambda line: print(line, file=sys.stderr)))
+    if not args.quiet:
+        print(f"fuzz: seed={args.seed} runs={args.runs} "
+              f"store {store_dir} ({len(store)} results on disk)",
+              file=sys.stderr)
+    campaign = run_fuzz_campaign(args.seed, args.runs, store, args.out,
+                                 max_slots=args.max_slots,
+                                 shrink=args.shrink, progress=progress)
+    if args.json:
+        print(json.dumps(campaign.records, indent=2, default=str))
+    else:
+        print(f"{campaign.ran} ran, {campaign.cached} cached, "
+              f"{len(campaign.failed)} failed")
+    for record in campaign.failed:
+        kinds = ",".join(sorted({f['kind'] for f in record['failures']}))
+        where = record.get("bundle", "<no bundle>")
+        print(f"FAILED {record['label']} [{kinds}] -> {where}",
+              file=sys.stderr)
+    return 0 if campaign.ok else 1
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     from repro.analysis.bounds import (access_delay_bound,
                                        mean_sat_rotation_bound,
@@ -406,6 +476,7 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "fuzz": _cmd_fuzz,
     "bounds": _cmd_bounds,
     "compare": _cmd_compare,
     "allocate": _cmd_allocate,

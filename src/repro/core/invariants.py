@@ -117,8 +117,13 @@ class RingInvariantChecker:
     def _check_conservation(self, t: float) -> None:
         net = self.net
         enqueued = self._total_enqueued() - self._enqueued_baseline
-        in_queues = sum(st.queue_length() for st in net.stations.values())
-        in_transit = sum(len(st.transit) for st in net.stations.values())
+        # ``enqueued`` is a lifetime counter, so it sums over every station
+        # that ever existed; live buffers count ring *members* only — a
+        # packet sitting in a removed station's queue has left the network
+        # and must have been accounted as lost, not silently parked
+        members = [net.stations[sid] for sid in net.order]
+        in_queues = sum(st.queue_length() for st in members)
+        in_transit = sum(len(st.transit) for st in members)
         delivered = net.metrics.total_delivered
         gone = net.metrics.lost + net.metrics.orphaned
         accounted = in_queues + in_transit + delivered + gone

@@ -56,7 +56,8 @@ class Packet:
     """
 
     __slots__ = ("pid", "src", "dst", "service", "created", "deadline",
-                 "t_enqueue", "t_send", "t_deliver", "flow_id", "dropped")
+                 "t_enqueue", "t_send", "t_deliver", "flow_id", "dropped",
+                 "hops")
 
     def __init__(self, src: int, dst: int, service: ServiceClass,
                  created: float, deadline: Optional[float] = None,
@@ -76,6 +77,9 @@ class Packet:
         self.t_send: Optional[float] = None
         self.t_deliver: Optional[float] = None
         self.dropped: bool = False
+        #: ring hops travelled; the dataplane's orphan TTL (a packet whose
+        #: source and destination both left would otherwise circle forever)
+        self.hops: int = 0
 
     # ------------------------------------------------------------------
     @property

@@ -325,11 +325,14 @@ class RecoveryManager:
         dropped = [sid for sid in net.order if sid not in new_order]
         for sid in dropped:
             st = net.stations[sid]
-            net.metrics.lost += len(st.transit)
-            for pkt in st.transit:
-                pkt.dropped = True
-                net.metrics.deadlines.observe_drop(pkt.deadline)
-            st.transit.clear()
+            # every packet still buffered at a dropped station is lost —
+            # class queues included, not just the insertion buffer
+            for queue in (st.transit, st.rt_queue, st.as_queue, st.be_queue):
+                net.metrics.lost += len(queue)
+                for pkt in queue:
+                    pkt.dropped = True
+                    net.metrics.deadlines.observe_drop(pkt.deadline)
+                queue.clear()
             if net.channel is not None:
                 net.channel.remove_listener(sid)
         net.order = new_order

@@ -318,12 +318,14 @@ class WRTRingNetwork:
         self._reindex()
         st = self.stations[sid]
         st.alive = False
-        # in-transit packets buffered at the removed station are lost
-        self.metrics.lost += len(st.transit)
-        for pkt in st.transit:
-            pkt.dropped = True
-            self.metrics.deadlines.observe_drop(pkt.deadline)
-        st.transit.clear()
+        # every packet still buffered at the removed station — in transit or
+        # waiting in its own class queues — leaves the network with it
+        for queue in (st.transit, st.rt_queue, st.as_queue, st.be_queue):
+            self.metrics.lost += len(queue)
+            for pkt in queue:
+                pkt.dropped = True
+                self.metrics.deadlines.observe_drop(pkt.deadline)
+            queue.clear()
         if self.channel is not None:
             self.channel.remove_listener(sid)
         self.recovery.on_membership_change(removed=sid)
@@ -429,6 +431,7 @@ class WRTRingNetwork:
                 self.metrics.lost += 1
                 self.metrics.deadlines.observe_drop(pkt.deadline)
                 continue
+            pkt.hops += 1
             if pkt.dst == dst_sid:
                 self._deliver(pkt, receiver, t + 1.0)
             elif pkt.src == dst_sid:
@@ -436,6 +439,16 @@ class WRTRingNetwork:
                 pkt.dropped = True
                 self.metrics.orphaned += 1
                 self.metrics.deadlines.observe_drop(pkt.deadline)
+            elif pkt.hops > n and pkt.dst not in self._pos:
+                # TTL: a full circuit without being stripped and the
+                # destination is gone — if the source were still a member the
+                # full-circle rule above would have reclaimed it, so it is
+                # orphaned and would otherwise circulate forever
+                pkt.dropped = True
+                self.metrics.orphaned += 1
+                self.metrics.deadlines.observe_drop(pkt.deadline)
+                self.trace.record(t, "ring.orphan_ttl", src=pkt.src,
+                                  dst=pkt.dst, hops=pkt.hops)
             else:
                 receiver.transit.append(pkt)
 

@@ -1,0 +1,33 @@
+"""Randomized scenario fuzzing for WRT-Ring (see docs/FUZZING.md).
+
+The paper's value is its worst-case guarantees; the fuzzer's job is to make
+sure no reachable interleaving of joins, leaves, silent deaths, SAT losses
+and traffic mixes silently breaks the accounting those guarantees are
+measured with.  Pipeline: :func:`generate_case` → :func:`run_case` (strict
+per-tick invariants + end-of-run oracles) → :func:`shrink_case` →
+:func:`write_bundle` (a byte-identically replayable JSON reproducer).
+
+Entry points: ``python -m repro fuzz`` (campaign CLI) and the checked-in
+corpus replayed by ``tests/test_fuzz.py``.
+"""
+
+from repro.fuzz.bundle import (bundle_dict, load_bundle, replay_bundle,
+                               verify_bundle, write_bundle)
+from repro.fuzz.campaign import FuzzCampaignResult, run_fuzz_campaign
+from repro.fuzz.generate import FuzzCase, generate_case
+from repro.fuzz.oracles import (ClockProbe, FuzzFailure, PacketLedger,
+                                check_conservation, check_no_undeliverable,
+                                check_rotation_bound)
+from repro.fuzz.runner import FuzzResult, hash_trace, run_case
+from repro.fuzz.shrink import shrink_case
+
+__all__ = [
+    "FuzzCase", "generate_case",
+    "FuzzResult", "run_case", "hash_trace",
+    "FuzzFailure", "ClockProbe", "PacketLedger",
+    "check_conservation", "check_no_undeliverable", "check_rotation_bound",
+    "shrink_case",
+    "bundle_dict", "write_bundle", "load_bundle", "replay_bundle",
+    "verify_bundle",
+    "FuzzCampaignResult", "run_fuzz_campaign",
+]

@@ -1,0 +1,99 @@
+"""JSON repro bundles: one file = one byte-identical replayable fuzz run.
+
+A bundle freezes a (usually shrunk) :class:`~repro.fuzz.generate.FuzzCase`
+together with the outcome its run produced — failure list and the canonical
+trace hash.  Replaying the bundle re-runs the case from its serialized form
+only and verifies both: the same failures (by kind) must reappear and the
+trace hash must match byte-identically.  A clean bundle (no failures) is a
+*regression* bundle: it encodes "this scenario used to break; it must now
+run clean and exactly like this".
+
+The checked-in corpus under ``tests/corpus/`` is replayed by the tier-1
+suite (``tests/test_fuzz.py``), so every bug the fuzzer ever caught stays a
+one-command repro: ``python -m repro fuzz --replay <bundle.json>``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fuzz.generate import FuzzCase
+from repro.fuzz.runner import FuzzResult, run_case
+
+__all__ = ["BUNDLE_SCHEMA", "bundle_dict", "write_bundle", "load_bundle",
+           "replay_bundle", "verify_bundle"]
+
+BUNDLE_SCHEMA = 1
+
+
+def bundle_dict(case: FuzzCase, result: FuzzResult,
+                note: str = "",
+                shrunk_from: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The canonical serialized form of one repro bundle."""
+    out: Dict[str, Any] = {
+        "schema": BUNDLE_SCHEMA,
+        "kind": "wrt-ring-fuzz-repro",
+        "case": case.to_dict(),
+        "result": result.to_record(),
+    }
+    if note:
+        out["note"] = note
+    if shrunk_from is not None:
+        out["shrunk_from"] = shrunk_from
+    return out
+
+
+def write_bundle(path, case: FuzzCase, result: FuzzResult,
+                 note: str = "",
+                 shrunk_from: Optional[Dict[str, Any]] = None) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = bundle_dict(case, result, note=note, shrunk_from=shrunk_from)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bundle(path) -> Dict[str, Any]:
+    data = json.loads(Path(path).read_text())
+    if data.get("kind") != "wrt-ring-fuzz-repro":
+        raise ValueError(f"{path}: not a fuzz repro bundle")
+    if data.get("schema") != BUNDLE_SCHEMA:
+        raise ValueError(f"{path}: bundle schema {data.get('schema')!r} "
+                         f"not supported (expected {BUNDLE_SCHEMA})")
+    return data
+
+
+def replay_bundle(path) -> Tuple[FuzzResult, Dict[str, Any]]:
+    """Re-run the bundle's case; returns ``(fresh_result, recorded_bundle)``."""
+    data = load_bundle(path)
+    case = FuzzCase.from_dict(data["case"])
+    return run_case(case), data
+
+
+def verify_bundle(path) -> Tuple[bool, FuzzResult, List[str]]:
+    """Replay and check the bundle's contract.
+
+    Returns ``(ok, fresh_result, mismatches)`` where ``mismatches`` lists
+    human-readable discrepancies: a trace-hash difference (nondeterminism or
+    a behaviour change) or a change in the failure kinds (a fixed — or
+    worse, newly broken — scenario).
+    """
+    result, data = replay_bundle(path)
+    recorded = data["result"]
+    mismatches: List[str] = []
+
+    want_kinds = sorted({f["kind"] for f in recorded.get("failures", [])})
+    got_kinds = result.failure_kinds()
+    if want_kinds != got_kinds:
+        mismatches.append(f"failure kinds changed: recorded {want_kinds}, "
+                          f"replay produced {got_kinds}")
+
+    if recorded.get("trace_hash") and result.trace_hash != recorded["trace_hash"]:
+        mismatches.append(
+            f"trace hash mismatch: recorded {recorded['trace_hash'][:16]}…, "
+            f"replay produced {result.trace_hash[:16]}… — the run is no "
+            f"longer byte-identical")
+
+    return not mismatches, result, mismatches

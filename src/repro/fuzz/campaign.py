@@ -1,0 +1,120 @@
+"""Campaign-style fuzzing loop: generate → run → shrink → bundle → store.
+
+Reuses the campaign :class:`~repro.campaign.store.ResultStore` for results:
+each case's record is keyed by the content hash of its full serialized form
+(plus package version / schema, via :func:`~repro.campaign.store.point_hash`),
+so re-running the same campaign skips completed cases, an interrupted
+campaign resumes where it stopped, and results cached by older code are
+never silently reused.
+
+Failing cases are delta-shrunk to a minimal reproducer and written as JSON
+repro bundles under ``out_dir`` — ready to be replayed with
+``python -m repro fuzz --replay`` or promoted into the checked-in corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaign.store import ResultStore, point_hash
+from repro.fuzz.bundle import write_bundle
+from repro.fuzz.generate import FuzzCase, generate_case
+from repro.fuzz.runner import run_case
+from repro.fuzz.shrink import shrink_case
+
+__all__ = ["FuzzCampaignResult", "run_fuzz_campaign"]
+
+Progress = Callable[[str], None]
+
+
+@dataclass
+class FuzzCampaignResult:
+    """Aggregate outcome of one fuzzing campaign."""
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    ran: int = 0
+    cached: int = 0
+    failed: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+def _case_key(case: FuzzCase) -> str:
+    return point_hash({"fuzz_case": case.to_dict()})
+
+
+def run_fuzz_campaign(master_seed: int, runs: int,
+                      store: ResultStore,
+                      out_dir,
+                      max_slots: int = 1200,
+                      shrink: bool = True,
+                      progress: Optional[Progress] = None) -> FuzzCampaignResult:
+    """Run ``runs`` fuzz cases derived from ``master_seed``.
+
+    Completed cases already present in ``store`` are skipped (their recorded
+    verdict is reused); every fresh failure is shrunk (when ``shrink``) and
+    written as a repro bundle under ``out_dir``.
+    """
+    out_dir = Path(out_dir)
+    emit = progress if progress is not None else (lambda line: None)
+    campaign = FuzzCampaignResult()
+
+    for index in range(runs):
+        case = generate_case(master_seed, index, max_slots=max_slots)
+        key = _case_key(case)
+        cached = store.get(key)
+        if cached is not None:
+            campaign.cached += 1
+            campaign.records.append(cached)
+            if not cached.get("ok", False):
+                campaign.failed.append(cached)
+            emit(f"[{index + 1}/{runs}] {case.label()}: "
+                 f"{'ok' if cached.get('ok') else 'FAIL'} (cached)")
+            continue
+
+        result = run_case(case)
+        campaign.ran += 1
+        record: Dict[str, Any] = {
+            "hash": key,
+            "label": case.label(),
+            "case": case.to_dict(),
+            **result.to_record(),
+        }
+
+        if result.ok:
+            emit(f"[{index + 1}/{runs}] {case.label()}: ok "
+                 f"({result.events_executed} events, "
+                 f"{result.stats['enqueued']} pkts)")
+        else:
+            kinds = ",".join(result.failure_kinds())
+            emit(f"[{index + 1}/{runs}] {case.label()}: FAIL [{kinds}] "
+                 f"{result.failures[0].message}")
+            bundle_case, bundle_result = case, result
+            if shrink:
+                shrunk, attempts = shrink_case(case)
+                shrunk_result = run_case(shrunk)
+                if not shrunk_result.ok:
+                    bundle_case, bundle_result = shrunk, shrunk_result
+                    emit(f"    shrunk in {attempts} runs: "
+                         f"{len(shrunk.scenario.get('faults') or [])} faults, "
+                         f"horizon {shrunk.scenario['horizon']}")
+            bundle_path = write_bundle(
+                out_dir / f"repro-{index:04d}-{result.failure_kinds()[0]}.json",
+                bundle_case, bundle_result,
+                note=f"found by fuzz campaign seed={master_seed} run={index}",
+                shrunk_from={"seed": master_seed, "index": index}
+                if shrink else None)
+            record["bundle"] = str(bundle_path)
+            emit(f"    repro bundle: {bundle_path}")
+
+        store.put(record)
+        campaign.records.append(record)
+        if not result.ok:
+            campaign.failed.append(record)
+
+    store.write_index()
+    return campaign

@@ -1,0 +1,147 @@
+"""Randomized WRT-Ring fuzz-case generation.
+
+A :class:`FuzzCase` is a fully serialized experiment: a scenario dict (the
+:func:`repro.config_io.scenario_to_dict` shape — ring size, quotas, traffic
+mix, timed fault schedule) plus an engine *drive plan* — the sequence of
+``engine.run(until=..., max_events=...)`` segments the runner executes.
+Splitting the run into irregular, sometimes event-bounded segments is
+deliberate: it exercises the engine's pause/resume edges (where the
+``max_events`` time-warp bug lived), not just one uninterrupted run.
+
+Cases derive deterministically from ``(master_seed, index)`` via
+:meth:`repro.sim.rng.RandomStreams.derive`, so a whole fuzzing campaign is
+reproducible from one seed and any single case can be regenerated — or
+replayed byte-identically from its JSON repro bundle — in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.sim.rng import RandomStreams
+
+__all__ = ["FuzzCase", "generate_case"]
+
+#: bump when the generated-case shape changes incompatibly
+CASE_SCHEMA = 1
+
+#: traffic kinds with generation weights; "saturate" and "backlog" keep the
+#: queues full (bound-stressing), "none" leaves the control plane alone
+_TRAFFIC_KINDS = (("poisson", 30), ("cbr", 20), ("backlog", 15),
+                  ("saturate", 10), ("video", 10), ("none", 15))
+_SERVICES = ("premium", "assured", "be")
+_FAULT_KINDS = ("kill", "leave", "drop_signal")
+
+
+@dataclass
+class FuzzCase:
+    """One generated (or shrunk) fuzz input."""
+
+    seed: int                      # derived case seed (also the scenario seed)
+    index: int                     # position in its campaign, for labelling
+    scenario: Dict[str, Any]       # config_io.scenario_to_dict shape
+    drive: List[Dict[str, Any]] = field(default_factory=list)
+
+    def label(self) -> str:
+        return f"fuzz[{self.index}] seed={self.seed}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"schema": CASE_SCHEMA, "seed": self.seed,
+                "index": self.index, "scenario": self.scenario,
+                "drive": self.drive}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzCase":
+        return cls(seed=data["seed"], index=data.get("index", 0),
+                   scenario=data["scenario"], drive=list(data.get("drive", [])))
+
+
+# ----------------------------------------------------------------------
+def generate_case(master_seed: int, index: int,
+                  max_slots: int = 1200) -> FuzzCase:
+    """Generate case ``index`` of the campaign seeded by ``master_seed``.
+
+    ``max_slots`` caps the simulated horizon (and thus the per-case cost).
+    """
+    case_seed = RandomStreams(master_seed).derive(f"fuzz.{index}")
+    rng = random.Random(case_seed)
+
+    n = rng.randint(4, 12)
+    horizon = float(rng.randint(max(200, max_slots // 3), max(201, max_slots)))
+
+    scenario: Dict[str, Any] = {
+        "n": n,
+        "placement": "circle",
+        "l": rng.randint(1, 3),
+        "k": rng.randint(1, 3),
+        "horizon": horizon,
+        "seed": case_seed,
+        "check_invariants": True,
+    }
+
+    # heterogeneous three-class quotas ~30% of the time
+    if rng.random() < 0.3:
+        scenario["quotas"] = {
+            str(sid): [rng.randint(1, 3), rng.randint(0, 2), rng.randint(1, 2)]
+            for sid in range(n)}
+
+    scenario["traffic"] = _random_traffic(rng)
+
+    faults: List[Dict[str, Any]] = []
+    # station joins need the broadcast channel and the RAP machinery
+    if rng.random() < 0.25:
+        scenario["rap_enabled"] = True
+        scenario["use_channel"] = True
+        for j in range(rng.randint(1, 2)):
+            faults.append({"time": round(rng.uniform(20.0, horizon * 0.7), 1),
+                           "kind": "join", "station": 100 + j})
+    # destructive dynamics, capped so most runs keep a viable ring
+    for _ in range(rng.randint(0, min(4, n - 3))):
+        kind = rng.choice(_FAULT_KINDS)
+        faults.append({
+            "time": round(rng.uniform(10.0, horizon * 0.8), 1),
+            "kind": kind,
+            "station": None if kind == "drop_signal" else rng.randrange(n)})
+    if faults:
+        scenario["faults"] = sorted(faults, key=lambda e: e["time"])
+
+    if rng.random() < 0.15:
+        scenario["mobility"] = {
+            "wander_radius": round(rng.uniform(0.5, 5.0), 2),
+            "speed": 0.5,
+            "update_every": rng.choice([5, 10, 20])}
+
+    return FuzzCase(seed=case_seed, index=index, scenario=scenario,
+                    drive=_random_drive(rng, horizon))
+
+
+def _random_traffic(rng: random.Random) -> Dict[str, Any]:
+    kinds, weights = zip(*_TRAFFIC_KINDS)
+    kind = rng.choices(kinds, weights=weights)[0]
+    service = rng.choice(_SERVICES)
+    deadline = None
+    if service != "be" and rng.random() < 0.4:
+        deadline = float(rng.randint(50, 400))
+    return {"kind": kind,
+            "rate": round(rng.uniform(0.01, 0.25), 3),
+            "period": float(rng.randint(5, 40)),
+            "service": {"premium": "premium", "assured": "assured",
+                        "be": "best_effort"}[service],
+            "deadline": deadline,
+            "neighbours_only": rng.random() < 0.2}
+
+
+def _random_drive(rng: random.Random, horizon: float) -> List[Dict[str, Any]]:
+    """Split ``[0, horizon]`` into 1–4 run segments; ~30% of the segments
+    are additionally bounded by ``max_events``."""
+    cuts = sorted(round(rng.uniform(horizon * 0.1, horizon * 0.95), 1)
+                  for _ in range(rng.randint(0, 3)))
+    drive: List[Dict[str, Any]] = []
+    for until in [*cuts, horizon]:
+        chunk: Dict[str, Any] = {"until": until}
+        if rng.random() < 0.3:
+            chunk["max_events"] = rng.randint(50, 5000)
+        drive.append(chunk)
+    return drive

@@ -1,0 +1,226 @@
+"""Runtime probes and end-of-run oracles for fuzzed scenario runs.
+
+The per-tick :class:`~repro.core.invariants.RingInvariantChecker` catches
+structural corruption as it happens; the probes and oracles here catch the
+bugs that slip *between* ticks or only show at the end of a run:
+
+* :class:`ClockProbe` — the engine clock must never move backwards, and no
+  pending event may be stranded behind it (the failure mode of the old
+  ``Engine.run(until=..., max_events=...)`` interaction);
+* :class:`PacketLedger` — remembers every packet that entered any station's
+  MAC queues (including stations inserted mid-run), giving per-flow ground
+  truth that is independent of the network's own counters;
+* :func:`check_conservation` — ledger vs. metrics vs. live buffers: every
+  packet is delivered, dropped, or buffered at a *current ring member*, and
+  the per-flow ledger agrees with each station's lifetime counters;
+* :func:`check_no_undeliverable` — no packet keeps circulating after a full
+  circuit once both its source and destination have left the ring;
+* :func:`check_rotation_bound` — on runs where Theorem 1 applies (no kills,
+  SAT losses or rebuilds), every measured SAT rotation respects the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["FuzzFailure", "ClockProbe", "PacketLedger",
+           "check_conservation", "check_no_undeliverable",
+           "check_rotation_bound", "rotation_bound_applies"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One oracle/invariant/crash finding; ``kind`` is a stable category
+    used by the shrinker to decide whether a reduced case still fails the
+    same way."""
+
+    kind: str
+    message: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"kind": self.kind, "message": self.message}
+
+
+class ClockProbe:
+    """Watches simulated time for backwards movement and stranded events.
+
+    Attach ``on_tick`` as a network tick hook and call :meth:`checkpoint`
+    after every ``engine.run(...)`` segment.  ``failures`` accumulates (and
+    is capped — one broken clock produces thousands of identical findings).
+    """
+
+    MAX_FAILURES = 5
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.high = engine.now
+        self.failures: List[FuzzFailure] = []
+
+    def _fail(self, message: str) -> None:
+        if len(self.failures) < self.MAX_FAILURES:
+            self.failures.append(FuzzFailure("engine_time", message))
+
+    def on_tick(self, t: float) -> None:
+        if t < self.high - _EPS:
+            self._fail(f"tick at t={t} after the clock already reached "
+                       f"{self.high}: engine time moved backwards")
+        self.high = max(self.high, t)
+
+    def checkpoint(self) -> None:
+        """Validate the clock after a run segment returned control."""
+        now = self.engine.now
+        if now < self.high - _EPS:
+            self._fail(f"engine.now={now} below the high-water mark "
+                       f"{self.high} after run() returned")
+        self.high = max(self.high, now)
+        nxt = self.engine.peek()
+        if nxt is not None and nxt < now - _EPS:
+            self._fail(f"pending event at t={nxt} stranded behind "
+                       f"engine.now={now}")
+
+
+class PacketLedger:
+    """Ground-truth record of every packet accepted into any MAC queue.
+
+    Wraps ``enqueue`` of every station (and of stations inserted later via
+    ``net.insert_station``), so the oracles can account for each packet
+    individually instead of trusting the aggregate counters under test.
+    """
+
+    def __init__(self, net):
+        self.net = net
+        self.packets: List[Any] = []
+        for st in net.stations.values():
+            self._wrap(st)
+        orig_insert = net.insert_station
+
+        def insert_station(*args, **kwargs):
+            st = orig_insert(*args, **kwargs)
+            self._wrap(st)
+            return st
+
+        net.insert_station = insert_station
+
+    def _wrap(self, st) -> None:
+        orig = st.enqueue
+
+        def enqueue(pkt, now):
+            orig(pkt, now)
+            self.packets.append(pkt)
+
+        st.enqueue = enqueue
+
+    # ------------------------------------------------------------------
+    def classify(self) -> Tuple[List[Any], List[Any], List[Any]]:
+        """Split the ledger into (delivered, dropped, pending)."""
+        delivered, dropped, pending = [], [], []
+        for p in self.packets:
+            if p.t_deliver is not None:
+                delivered.append(p)
+            elif p.dropped:
+                dropped.append(p)
+            else:
+                pending.append(p)
+        return delivered, dropped, pending
+
+    def per_flow(self) -> Dict[Tuple[int, int, Any], int]:
+        """Enqueued packet count per ``(src, dst, service)`` flow."""
+        flows: Dict[Tuple[int, int, Any], int] = {}
+        for p in self.packets:
+            key = (p.src, p.dst, p.service)
+            flows[key] = flows.get(key, 0) + 1
+        return flows
+
+
+# ----------------------------------------------------------------------
+# end-of-run oracles
+# ----------------------------------------------------------------------
+def check_conservation(net, ledger: PacketLedger) -> List[FuzzFailure]:
+    """Every ledger packet is in exactly one terminal/buffered state and the
+    network's aggregate metrics agree with the per-packet ground truth."""
+    failures: List[FuzzFailure] = []
+    delivered, dropped, pending = ledger.classify()
+
+    members = [net.stations[sid] for sid in net.order]
+    buffered = sum(st.queue_length() + len(st.transit) for st in members)
+    if len(pending) != buffered:
+        failures.append(FuzzFailure(
+            "conservation",
+            f"{len(pending)} ledger packets pending but {buffered} buffered "
+            f"at ring members — packets are parked outside the ring"))
+
+    if len(delivered) != net.metrics.total_delivered:
+        failures.append(FuzzFailure(
+            "conservation",
+            f"metrics claim {net.metrics.total_delivered} delivered, ledger "
+            f"saw {len(delivered)}"))
+
+    gone = net.metrics.lost + net.metrics.orphaned
+    if len(dropped) != gone:
+        failures.append(FuzzFailure(
+            "conservation",
+            f"metrics claim {gone} lost+orphaned, ledger saw "
+            f"{len(dropped)} dropped packets"))
+
+    # per-flow ledger vs. per-station lifetime counters
+    per_src: Dict[Tuple[int, Any], int] = {}
+    for (src, _dst, service), count in ledger.per_flow().items():
+        key = (src, service)
+        per_src[key] = per_src.get(key, 0) + count
+    for sid, st in net.stations.items():
+        for service, count in st.enqueued.items():
+            seen = per_src.get((sid, service), 0)
+            if seen != count:
+                failures.append(FuzzFailure(
+                    "conservation",
+                    f"station {sid} counts {count} enqueued "
+                    f"{service.short} packets, ledger saw {seen}"))
+    return failures
+
+
+def check_no_undeliverable(net, ledger: PacketLedger) -> List[FuzzFailure]:
+    """No packet survives a full circuit once both endpoints left the ring."""
+    failures: List[FuzzFailure] = []
+    n = len(net.order)
+    _, _, pending = ledger.classify()
+    for p in pending:
+        if (p.hops > n and p.dst not in net._pos and p.src not in net._pos):
+            failures.append(FuzzFailure(
+                "orphan",
+                f"packet {p.src}->{p.dst} has travelled {p.hops} hops on a "
+                f"{n}-station ring with both endpoints gone: it will "
+                f"circulate forever"))
+            if len(failures) >= 5:
+                break
+    return failures
+
+
+def rotation_bound_applies(net, scenario_dict: Dict[str, Any]) -> bool:
+    """Theorem 1 covers joins and RAP pauses but not station failures, SAT
+    losses or ring rebuilds; apply the bound oracle only when none occurred
+    (neither scripted nor emergent, e.g. via mobility breaking a link)."""
+    for event in scenario_dict.get("faults") or []:
+        if event.get("kind") in ("kill", "leave", "drop_signal"):
+            return False
+    if scenario_dict.get("mobility"):
+        return False
+    return (not net.recovery.records
+            and net.recovery.ring_rebuilds == 0
+            and net.trace.count("sat.lost") == 0
+            and not net.network_down)
+
+
+def check_rotation_bound(result) -> List[FuzzFailure]:
+    """On applicable runs, the worst measured SAT rotation must respect the
+    Theorem-1 bound (as computed by ``ScenarioResult.summary``)."""
+    summary = result.summary()
+    if summary.get("bound_holds", True):
+        return []
+    return [FuzzFailure(
+        "rotation_bound",
+        f"worst SAT rotation {summary['worst_rotation']} exceeds the "
+        f"Theorem-1 bound {summary['rotation_bound']} "
+        f"({summary['rotation_samples']} samples)")]

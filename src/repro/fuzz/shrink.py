@@ -1,0 +1,137 @@
+"""Delta-shrinking of failing fuzz cases to minimal reproducers.
+
+Given a failing :class:`~repro.fuzz.generate.FuzzCase`, the shrinker applies
+a fixed sequence of reductions, keeping a candidate only if it still fails
+with (at least one of) the original failure *kinds* — so an invariant
+violation never silently shrinks into an unrelated crash:
+
+1. drop scripted fault events one at a time, to a fixpoint;
+2. simplify the drive plan (drop ``max_events`` limits, merge segments);
+3. shorten the horizon (coarse bisection over fractions);
+4. remove traffic, then mobility.
+
+Every reduction re-runs the candidate, so shrinking is bounded by
+``max_runs`` total executions; the result is always a case whose failure
+was re-confirmed by an actual run.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Tuple
+
+from repro.fuzz.generate import FuzzCase
+from repro.fuzz.runner import run_case
+
+__all__ = ["shrink_case"]
+
+
+def _clone(case: FuzzCase, scenario: Dict[str, Any] = None,
+           drive: List[Dict[str, Any]] = None) -> FuzzCase:
+    return FuzzCase(seed=case.seed, index=case.index,
+                    scenario=copy.deepcopy(
+                        scenario if scenario is not None else case.scenario),
+                    drive=copy.deepcopy(
+                        drive if drive is not None else case.drive))
+
+
+def shrink_case(case: FuzzCase, max_runs: int = 120) -> Tuple[FuzzCase, int]:
+    """Shrink ``case`` to a smaller still-failing case.
+
+    Returns ``(shrunk_case, runs_used)``.  If the case does not fail at all
+    it is returned unchanged with ``runs_used == 1``.
+    """
+    baseline = run_case(case)
+    if baseline.ok:
+        return case, 1
+    kinds = set(baseline.failure_kinds())
+    runs = 1
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False
+        runs += 1
+        try:
+            result = run_case(candidate)
+        except Exception:   # a broken candidate is not a reproducer
+            return False
+        return bool(kinds & set(result.failure_kinds()))
+
+    current = case
+
+    # 1. drop fault events greedily, repeating until no event can go
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        faults = current.scenario.get("faults") or []
+        for i in range(len(faults) - 1, -1, -1):
+            scenario = copy.deepcopy(current.scenario)
+            del scenario["faults"][i]
+            if not scenario["faults"]:
+                del scenario["faults"]
+            candidate = _clone(current, scenario=scenario)
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+
+    # 2a. drop per-segment max_events limits
+    for i, chunk in enumerate(current.drive):
+        if "max_events" in chunk:
+            drive = copy.deepcopy(current.drive)
+            del drive[i]["max_events"]
+            candidate = _clone(current, drive=drive)
+            if still_fails(candidate):
+                current = candidate
+
+    # 2b. collapse the drive to a single straight run to the horizon
+    if len(current.drive) > 1:
+        candidate = _clone(
+            current, drive=[{"until": current.scenario["horizon"]}])
+        if still_fails(candidate):
+            current = candidate
+
+    # 3. shorten the horizon
+    for fraction in (0.25, 0.5, 0.75):
+        horizon = max(50.0, round(current.scenario["horizon"] * fraction, 1))
+        if horizon >= current.scenario["horizon"]:
+            continue
+        candidate = _clone(current)
+        candidate.scenario["horizon"] = horizon
+        candidate.drive = _clip_drive(candidate.drive, horizon)
+        if still_fails(candidate):
+            current = candidate
+            break
+
+    # 4. strip the workload, then mobility
+    if current.scenario.get("traffic", {}).get("kind") != "none":
+        candidate = _clone(current)
+        candidate.scenario.setdefault("traffic", {})
+        candidate.scenario["traffic"] = {"kind": "none"}
+        if still_fails(candidate):
+            current = candidate
+    if current.scenario.get("mobility"):
+        candidate = _clone(current)
+        del candidate.scenario["mobility"]
+        if still_fails(candidate):
+            current = candidate
+
+    return current, runs
+
+
+def _clip_drive(drive: List[Dict[str, Any]],
+                horizon: float) -> List[Dict[str, Any]]:
+    """Truncate a drive plan to a shorter horizon, keeping the first
+    overflowing segment's ``max_events`` bound."""
+    clipped: List[Dict[str, Any]] = []
+    for chunk in drive:
+        if chunk["until"] < horizon:
+            clipped.append(dict(chunk))
+            continue
+        last = dict(chunk)
+        last["until"] = horizon
+        clipped.append(last)
+        break
+    if not clipped or clipped[-1]["until"] < horizon:
+        clipped.append({"until": horizon})
+    return clipped

@@ -42,7 +42,7 @@ from repro.traffic.flows import FlowSpec
 from repro.traffic.workload import Workload
 
 __all__ = ["TrafficMix", "MobilitySpec", "Scenario", "ScenarioResult",
-           "run_scenario"]
+           "build_scenario", "run_scenario"]
 
 
 @dataclass(frozen=True)
@@ -249,8 +249,14 @@ def _attach_traffic(scn: Scenario, net: WRTRingNetwork,
     return wl
 
 
-def run_scenario(scenario: Scenario) -> ScenarioResult:
-    """Build and run the complete stack for ``scenario``."""
+def build_scenario(scenario: Scenario) -> ScenarioResult:
+    """Build (and start, but do not run) the complete stack for ``scenario``.
+
+    The caller owns the engine drive: the fuzz harness uses this to advance
+    time in irregular chunks (including ``max_events``-bounded segments) with
+    extra probes attached, while :func:`run_scenario` simply runs to the
+    horizon.
+    """
     streams = RandomStreams(scenario.seed)
     engine = Engine()
     trace = TraceRecorder()
@@ -314,7 +320,13 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         scenario.faults.attach(net)
 
     net.start()
-    engine.run(until=scenario.horizon)
     return ScenarioResult(scenario=scenario, engine=engine, network=net,
                           workload=workload, mobility=mobility, trace=trace,
                           checker=checker)
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Build and run the complete stack for ``scenario``."""
+    result = build_scenario(scenario)
+    result.engine.run(until=scenario.horizon)
+    return result

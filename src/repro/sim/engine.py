@@ -139,9 +139,13 @@ class Engine:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the agenda drains, ``until`` is reached, or ``max_events`` fire.
 
-        When ``until`` is given, time is advanced to exactly ``until`` even if
-        the last event fires earlier (mirroring SimPy semantics), so that
-        back-to-back ``run(until=...)`` calls tile time without gaps.
+        When ``until`` is given and every event up to it has fired, time is
+        advanced to exactly ``until`` even if the last event fires earlier
+        (mirroring SimPy semantics), so that back-to-back ``run(until=...)``
+        calls tile time without gaps.  If the loop stops early — on
+        ``max_events`` or :meth:`stop` — with events still pending at or
+        before ``until``, the clock stays at the last executed event so those
+        events are never stranded in the past.
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
@@ -169,7 +173,9 @@ class Engine:
         finally:
             self._running = False
         if until is not None and not self._stopped and self.now < until:
-            self.now = until
+            nxt = self.peek()
+            if nxt is None or nxt > until:
+                self.now = until
 
     def stop(self) -> None:
         """Stop a running :meth:`run` after the current event completes."""

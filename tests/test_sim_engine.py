@@ -137,6 +137,45 @@ class TestRun:
         eng.run(max_events=3)
         assert hits == [0, 1, 2]
 
+    def test_max_events_with_until_does_not_warp_clock(self):
+        # regression: run(until=..., max_events=...) used to advance `now`
+        # to `until` even when the event cap broke the loop early, stranding
+        # the remaining agenda events in the past
+        eng = Engine()
+        hits = []
+        for i in range(5):
+            eng.schedule(float(i + 1), hits.append, i)
+        eng.run(until=100.0, max_events=2)
+        assert hits == [0, 1]
+        assert eng.now == 2.0
+        assert eng.peek() == 3.0
+
+    def test_resume_after_max_events_break_reaches_until(self):
+        eng = Engine()
+        hits = []
+        for i in range(5):
+            eng.schedule(float(i + 1), hits.append, i)
+        eng.run(until=100.0, max_events=2)
+        eng.run(until=100.0)
+        assert hits == [0, 1, 2, 3, 4]
+        assert eng.now == 100.0
+
+    def test_stop_with_until_does_not_warp_clock(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(1.0, hits.append, "a")
+        eng.schedule(2.0, eng.stop)
+        eng.schedule(3.0, hits.append, "b")
+        eng.run(until=100.0)
+        assert hits == ["a"]
+        assert eng.now == 2.0
+
+    def test_until_still_advances_clock_when_agenda_drains(self):
+        eng = Engine()
+        eng.schedule(5.0, lambda: None)
+        eng.run(until=10.0, max_events=50)
+        assert eng.now == 10.0
+
     def test_stop_halts_run(self):
         eng = Engine()
         hits = []
