@@ -94,7 +94,11 @@ def _successor_map(net, members) -> Dict[int, int]:
             for i, sid in enumerate(members)}
 
 
-def run(net, horizon: float):
+def run(net, horizon: float, profiler=None):
+    """Drive ``net`` to ``horizon``; pass a :class:`repro.obs.Profiler`
+    to capture the ``engine.run`` wall-clock span alongside the result."""
+    if profiler is not None:
+        net.engine.profiler = profiler
     net.start()
     net.engine.run(until=horizon)
     return net

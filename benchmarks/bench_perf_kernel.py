@@ -81,6 +81,35 @@ def test_perf_saturated_ring_ticks(benchmark):
     assert benchmark.stats["mean"] < 2.0   # > 1k slot-ticks/s of 16 stations
 
 
+def test_perf_trace_select_indexed(benchmark):
+    """select() on a crowded trace must be O(matches), not O(events).
+
+    100k events across 100 categories; selecting one rare category (10
+    events) must not pay for the other 99,990.  Before the per-category
+    index this was a full linear scan per call — ~1000x more work than
+    the matches justify.
+    """
+    from repro.sim.trace import TraceRecorder
+
+    trace = TraceRecorder()
+    for i in range(100_000):
+        # category 0 is rare (10 events); the rest absorb the bulk
+        category = f"cat.{i % 100}" if i % 10_000 else "cat.rare"
+        trace.record(float(i), category, i=i)
+
+    def run():
+        total = 0
+        for _ in range(1000):
+            total += len(trace.select(category="cat.rare"))
+        return total
+
+    total = benchmark(run)
+    assert total == 1000 * 10
+    # 1000 indexed selects of 10 events each: sub-millisecond-per-call
+    # territory; a linear scan of 100k events per call blows well past this
+    assert benchmark.stats["mean"] < 0.5
+
+
 def test_perf_channel_resolution(benchmark):
     """1k slots x 16 concurrent frames through the collision resolver."""
     pos = ring_placement(16, radius=30.0)

@@ -58,10 +58,18 @@ class CampaignResult:
     failures: List[PointFailure] = field(default_factory=list)
     cached: int = 0
     ran: int = 0
+    #: wall-clock duration of CampaignRunner.run(); reporting only — it is
+    #: never stored with the records, which must stay deterministic
+    elapsed_s: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    @property
+    def events_executed(self) -> int:
+        """Total simulated events across all records (deterministic)."""
+        return sum(r.get("events_executed", 0) for r in self.records)
 
     def table(self, columns: Sequence, title: Optional[str] = None) -> str:
         """Aligned table over the records (see campaign.aggregate)."""
@@ -121,7 +129,8 @@ class CampaignRunner:
                  workers: Optional[int] = None,
                  timeout: Optional[float] = None,
                  retries: int = 1,
-                 progress: Optional[ProgressFn] = None):
+                 progress: Optional[ProgressFn] = None,
+                 profiler=None):
         if workers is not None and workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if retries < 0:
@@ -132,9 +141,13 @@ class CampaignRunner:
         self.timeout = timeout
         self.retries = retries
         self.progress = progress if progress is not None else ProgressPrinter()
+        #: optional repro.obs.profile.Profiler; receives one "campaign.run"
+        #: span per run() and one "campaign.point" span per executed point
+        self.profiler = profiler
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
+        run_start = time.perf_counter()
         points = self.sweep.expand()
         hashes = {p.index: point_hash(p.scenario_dict) for p in points}
 
@@ -171,9 +184,16 @@ class CampaignRunner:
             self.store.write_index()
 
         ordered = [records[p.index] for p in points if p.index in records]
+        elapsed = time.perf_counter() - run_start
+        if self.profiler is not None:
+            events = sum(r.get("events_executed", 0) for r in ordered)
+            self.profiler.record_span(
+                "campaign.run", run_start, elapsed,
+                points=len(ordered), events=events)
         return CampaignResult(sweep=self.sweep, records=ordered,
                               failures=failures, cached=cached,
-                              ran=len(points) - cached - len(failures))
+                              ran=len(points) - cached - len(failures),
+                              elapsed_s=elapsed)
 
     # ------------------------------------------------------------------
     def _decorate(self, record: Dict[str, Any], point: SweepPoint,
@@ -196,6 +216,10 @@ class CampaignRunner:
             self.store.put(record)
         records[point.index] = self._decorate(record, point, key,
                                               from_cache=False)
+        if self.profiler is not None:
+            self.profiler.record_span(
+                "campaign.point", time.perf_counter() - elapsed, elapsed,
+                events=record.get("events_executed", 0))
         self.progress("done", point, elapsed=elapsed)
 
     # ------------------------------------------------------------------

@@ -34,6 +34,9 @@ def run_point(scenario_dict: Dict[str, Any]) -> Dict[str, Any]:
         "scenario": scenario_dict,
         "summary": result.summary(),
         "elapsed": round(time.perf_counter() - start, 3),
+        # deterministic (unlike "elapsed"): lets campaign-level reporting
+        # derive simulated events/sec without touching the summary shape
+        "events_executed": result.engine.events_executed,
     }
 
 

@@ -1,23 +1,27 @@
 """Command-line interface.
 
-Six subcommands, mirroring the library's main entry points::
+Seven subcommands, mirroring the library's main entry points::
 
-    python -m repro simulate  --n 8 --l 2 --k 1 --horizon 20000 [--traffic ...]
+    python -m repro simulate  --n 8 --l 2 --k 1 --horizon 20000 [--timeline f]
     python -m repro sweep     --axis n=4,8,12 --axis l=1,2 [--workers 4]
     python -m repro fuzz      --runs 200 --seed 1 [--max-slots 1200] [--shrink]
+    python -m repro perf      run [--quick] | check [--baseline f]
     python -m repro bounds    --n 8 --l 2 --k 1 [--t-rap 9] [--backlog 4]
     python -m repro compare   --n 8 --quota 3 --horizon 10000
     python -m repro allocate  --demands rate:deadline:backlog,... [--scheme local]
 
 ``simulate`` runs a full scenario (optionally with mobility and scripted
-faults) and prints the summary; ``sweep`` runs a whole campaign of
+faults) and prints the summary — ``--timeline out.json`` additionally
+exports a Chrome-trace/Perfetto timeline and ``--metrics`` a metrics-registry
+snapshot (see docs/OBSERVABILITY.md); ``sweep`` runs a whole campaign of
 scenarios in parallel with cached, resumable results (see
 docs/CAMPAIGNS.md); ``fuzz`` hammers randomized scenarios with strict
 invariants and end-of-run oracles, shrinking every failure to a replayable
-repro bundle (see docs/FUZZING.md); ``bounds`` evaluates the paper's closed
-forms; ``compare`` runs the WRT-Ring-vs-TPT trio (round trip, capacity,
-failure reaction); ``allocate`` sizes the guaranteed quotas for a demand
-set.
+repro bundle (see docs/FUZZING.md); ``perf`` runs the pinned performance
+suite and gates regressions against the ``BENCH_perf.json`` trajectory;
+``bounds`` evaluates the paper's closed forms; ``compare`` runs the
+WRT-Ring-vs-TPT trio (round trip, capacity, failure reaction); ``allocate``
+sizes the guaranteed quotas for a demand set.
 """
 
 from __future__ import annotations
@@ -63,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--leave", type=str, default="",
                      help="comma list of station:time announced departures")
     sim.add_argument("--check-invariants", action="store_true")
+    sim.add_argument("--timeline", type=str, default=None, metavar="OUT.json",
+                     help="export a Chrome-trace/Perfetto timeline of the "
+                          "run (SAT holds, RAP windows, slot occupancy, "
+                          "membership events, engine wall-clock spans)")
+    sim.add_argument("--metrics", action="store_true",
+                     help="attach a metrics registry and include its "
+                          "snapshot in the summary")
     sim.add_argument("--json", action="store_true", help="JSON summary")
 
     sw = sub.add_parser("sweep", help="run a scenario-sweep campaign "
@@ -130,6 +141,31 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--quiet", action="store_true",
                     help="suppress per-case progress lines")
 
+    pf = sub.add_parser("perf", help="pinned performance suite and "
+                                     "BENCH_perf.json regression gating")
+    pf_sub = pf.add_subparsers(dest="perf_command", required=True)
+    pf_run = pf_sub.add_parser("run", help="run the suite and append a "
+                                           "trajectory record")
+    pf_run.add_argument("--path", type=str, default="BENCH_perf.json",
+                        help="trajectory file to append to")
+    pf_run.add_argument("--quick", action="store_true",
+                        help="reduced workloads (CI smoke sizing)")
+    pf_run.add_argument("--repeats", type=int, default=2,
+                        help="runs per benchmark; the best rate is kept")
+    pf_run.add_argument("--note", type=str, default=None,
+                        help="free-form note stored in the record")
+    pf_run.add_argument("--json", action="store_true")
+    pf_check = pf_sub.add_parser("check", help="gate the latest record "
+                                               "against a baseline")
+    pf_check.add_argument("--path", type=str, default="BENCH_perf.json",
+                          help="trajectory file to check")
+    pf_check.add_argument("--baseline", type=str, default=None,
+                          help="baseline trajectory/record file (default: "
+                               "the checked trajectory's own history)")
+    pf_check.add_argument("--threshold", type=float, default=0.15,
+                          help="max tolerated rate regression (0.15 = 15%%)")
+    pf_check.add_argument("--json", action="store_true")
+
     bounds = sub.add_parser("bounds", help="evaluate the Sec. 2.6 closed forms")
     bounds.add_argument("--n", type=int, required=True)
     bounds.add_argument("--l", type=int, required=True)
@@ -186,15 +222,53 @@ def _emit(payload: dict, as_json: bool) -> None:
 
 
 # ----------------------------------------------------------------------
+def _run_observed(scenario, timeline: Optional[str],
+                  metrics: bool) -> dict:
+    """Build, instrument, run and summarize one scenario.
+
+    Always profiles the engine window (so every summary carries
+    ``elapsed_s`` / ``events_per_s``); the timeline trace categories and
+    the metrics registry are attached only on request.
+    """
+    from repro.obs import (MetricsRegistry, Profiler, attach_network_metrics,
+                           enable_timeline_categories, export_timeline)
+    from repro.scenarios import build_scenario
+
+    built = build_scenario(scenario)
+    profiler = Profiler()
+    built.engine.profiler = profiler
+    registry = None
+    if metrics:
+        registry = MetricsRegistry()
+        attach_network_metrics(built.network, registry)
+    if timeline:
+        enable_timeline_categories(built.trace)
+
+    built.engine.run(until=scenario.horizon)
+
+    payload = built.summary()
+    run_report = profiler.report().get("engine.run", {})
+    payload["elapsed_s"] = round(run_report.get("total_s", 0.0), 6)
+    payload["events_per_s"] = round(run_report.get("events_per_s", 0.0), 1)
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    if timeline:
+        count = export_timeline(timeline, built.trace, profiler,
+                                extra={"scenario": built.resolved_config()})
+        payload["timeline"] = {"path": timeline, "events": count}
+    return payload
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.packet import ServiceClass
     from repro.faults import FaultSchedule
-    from repro.scenarios import MobilitySpec, Scenario, TrafficMix, run_scenario
+    from repro.scenarios import MobilitySpec, Scenario, TrafficMix
 
     if args.config is not None:
         from repro.config_io import load_scenario
-        result = run_scenario(load_scenario(args.config))
-        _emit(result.summary(), args.json)
+        payload = _run_observed(load_scenario(args.config),
+                                args.timeline, args.metrics)
+        _emit(payload, args.json)
         return 0
 
     service = {"premium": ServiceClass.PREMIUM,
@@ -221,8 +295,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         faults=schedule if schedule.events else None,
         check_invariants=args.check_invariants,
         horizon=args.horizon, seed=args.seed)
-    result = run_scenario(scenario)
-    _emit(result.summary(), args.json)
+    payload = _run_observed(scenario, args.timeline, args.metrics)
+    _emit(payload, args.json)
     return 0
 
 
@@ -275,9 +349,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not args.quiet:
         print(f"sweep {name}: store {store_dir} "
               f"({len(store)} results on disk)", file=sys.stderr)
+    from repro.obs import Profiler
     runner = CampaignRunner(sweep, store, workers=args.workers,
                             timeout=args.timeout, retries=args.retries,
-                            progress=progress)
+                            progress=progress, profiler=Profiler())
     result = runner.run()
 
     if args.json:
@@ -288,9 +363,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             columns = default_columns(sweep, result.records)
         # stdout carries only the deterministic table (identical no matter
-        # how the campaign was scheduled or resumed); counts go to stderr
-        print(f"{result.cached} cached, {result.ran} ran, "
-              f"{len(result.failures)} failed", file=sys.stderr)
+        # how the campaign was scheduled or resumed); counts and wall-clock
+        # timing go to stderr
+        line = (f"{result.cached} cached, {result.ran} ran, "
+                f"{len(result.failures)} failed in {result.elapsed_s:.2f}s")
+        if result.ran and result.elapsed_s:
+            # rate over freshly executed points only — cached points cost
+            # no wall-clock, counting their events would inflate the rate
+            fresh = sum(r.get("events_executed", 0) for r in result.records
+                        if not r.get("cached"))
+            line += f" ({fresh / result.elapsed_s:,.0f} events/s)"
+        print(line, file=sys.stderr)
         print(campaign_table(result.records, columns,
                              title=f"sweep {name}: "
                                    f"{len(result.records)} points"))
@@ -334,12 +417,55 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     else:
         print(f"{campaign.ran} ran, {campaign.cached} cached, "
               f"{len(campaign.failed)} failed")
+        if not args.quiet and campaign.ran:
+            print(f"fuzz: {campaign.elapsed_s:.2f}s "
+                  f"({campaign.cases_per_s:.1f} fresh cases/s)",
+                  file=sys.stderr)
     for record in campaign.failed:
         kinds = ",".join(sorted({f['kind'] for f in record['failures']}))
         where = record.get("bundle", "<no bundle>")
         print(f"FAILED {record['label']} [{kinds}] -> {where}",
               file=sys.stderr)
     return 0 if campaign.ok else 1
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    # lazy: obs.perf pulls in the campaign/fuzz stacks, which the other
+    # subcommands never need
+    from repro.obs import perf
+
+    if args.perf_command == "run":
+        progress = (lambda line: print(line, file=sys.stderr))
+        results = perf.run_suite(quick=args.quick, repeats=args.repeats,
+                                 progress=progress)
+        record = perf.append_record(args.path, results, quick=args.quick,
+                                    note=args.note)
+        payload = dict(record)
+        payload["path"] = args.path
+        _emit(payload, args.json)
+        return 0
+
+    ok, regressions, info = perf.check_trajectory(
+        args.path, baseline_path=args.baseline, threshold=args.threshold)
+    if args.json:
+        info["ok"] = ok
+        info["regressions"] = [r.describe() for r in regressions]
+        print(json.dumps(info, indent=2, default=str))
+    else:
+        print(f"perf check: {info['records']} record(s) in {args.path}, "
+              f"baseline={info['baseline_source']}, "
+              f"threshold={args.threshold:.0%}")
+        for name in sorted(info.get("current", {})):
+            current = info["current"][name]
+            base = info.get("baseline", {}).get(name)
+            delta = (f"{current / base - 1.0:+.1%} vs {base:,.0f}"
+                     if base else "no baseline")
+            print(f"  {name:24s} {current:>12,.0f} /s  ({delta})")
+        for regression in regressions:
+            print(f"REGRESSION: {regression.describe()}", file=sys.stderr)
+        if ok:
+            print("OK: no regressions beyond threshold")
+    return 0 if ok else 1
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -477,6 +603,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "fuzz": _cmd_fuzz,
+    "perf": _cmd_perf,
     "bounds": _cmd_bounds,
     "compare": _cmd_compare,
     "allocate": _cmd_allocate,

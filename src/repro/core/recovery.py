@@ -253,6 +253,7 @@ class RecoveryManager:
         if self.active is not None:
             self.active.t_completed = t
             self.active.outcome = "cutout"
+            self._publish_episode(self.active)
             self.active = None
         self.on_membership_change()
         net.trace.record(t, "sat.recovered", removed=failed, at=holder)
@@ -318,6 +319,7 @@ class RecoveryManager:
                 self.active.outcome = "down"
                 self.active.t_completed = t
                 self.active.extra["error"] = str(exc)
+                self._publish_episode(self.active)
                 self.active = None
             net.trace.record(t, "ring.down", reason=str(exc))
             return
@@ -329,6 +331,7 @@ class RecoveryManager:
             # class queues included, not just the insertion buffer
             for queue in (st.transit, st.rt_queue, st.as_queue, st.be_queue):
                 net.metrics.lost += len(queue)
+                net._obs_lost.inc(len(queue))
                 for pkt in queue:
                     pkt.dropped = True
                     net.metrics.deadlines.observe_drop(pkt.deadline)
@@ -338,6 +341,7 @@ class RecoveryManager:
         net.order = new_order
         net._reindex()
         self.ring_rebuilds += 1
+        net._obs_rebuilds.inc()
 
         initiator = self._rebuild_initiator
         if initiator not in net._pos:
@@ -354,5 +358,17 @@ class RecoveryManager:
         if self.active is not None:
             self.active.outcome = "rebuild"
             self.active.t_completed = t
+            self._publish_episode(self.active)
             self.active = None
         net.trace.record(t, "ring.rebuild_done", order=list(net.order))
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _publish_episode(self, record: RecoveryRecord) -> None:
+        """Publish a finished episode into the network's bound registry
+        (no-op instruments when observability is off)."""
+        net = self.net
+        net._obs_recoveries.inc()
+        if record.total_delay is not None:
+            net._obs_recovery_delay.observe(record.total_delay)

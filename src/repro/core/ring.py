@@ -38,6 +38,7 @@ from repro.core.packet import Packet, ServiceClass
 from repro.core.quotas import QuotaConfig
 from repro.core.sat import SAT, RotationLog
 from repro.core.station import WRTRingStation
+from repro.obs.registry import NULL_INSTRUMENT
 from repro.phy.cdma import BROADCAST_CODE, CodeSpace, assign_codes_sequential
 from repro.phy.channel import Frame, SlottedChannel
 from repro.sim.engine import Engine
@@ -145,6 +146,11 @@ class WRTRingNetwork:
         self._frame_handlers: Dict[int, Callable[[Frame, float], None]] = {}
         self._delivery_callbacks: Dict[int, Callable[[Packet, float], None]] = {}
 
+        # observability instruments: no-ops until bind_observability() —
+        # the hot paths call them unconditionally, so an unobserved run
+        # pays only empty method calls (see repro.obs.registry)
+        self._bind_null_observability()
+
         # managers (imported lazily to avoid import cycles)
         from repro.core.join import JoinManager
         from repro.core.recovery import RecoveryManager
@@ -206,6 +212,48 @@ class WRTRingNetwork:
             sid, {self.codes.code_of(sid), BROADCAST_CODE})
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _bind_null_observability(self) -> None:
+        self._obs_delivered = {c: NULL_INSTRUMENT for c in ServiceClass}
+        self._obs_lost = NULL_INSTRUMENT
+        self._obs_orphaned = NULL_INSTRUMENT
+        self._obs_rotation = NULL_INSTRUMENT
+        self._obs_sat_releases = NULL_INSTRUMENT
+        self._obs_sat_holds = NULL_INSTRUMENT
+        self._obs_kills = NULL_INSTRUMENT
+        self._obs_inserts = NULL_INSTRUMENT
+        self._obs_removes = NULL_INSTRUMENT
+        self._obs_recoveries = NULL_INSTRUMENT
+        self._obs_rebuilds = NULL_INSTRUMENT
+        self._obs_recovery_delay = NULL_INSTRUMENT
+
+    def bind_observability(self, registry) -> None:
+        """Publish this network's event streams into ``registry``.
+
+        Counters: ``ring.delivered`` (labeled per service class),
+        ``ring.lost``, ``ring.orphaned``, ``ring.kills``, ``ring.inserts``,
+        ``ring.removes``, ``sat.releases``, ``sat.holds``,
+        ``recovery.episodes``, ``recovery.rebuilds``.  Histograms:
+        ``sat.rotation_slots``, ``recovery.delay_slots``.  Passing a
+        disabled registry rebinds the shared no-op instruments.
+        """
+        self._obs_delivered = {
+            c: registry.counter("ring.delivered", service=c.short)
+            for c in ServiceClass}
+        self._obs_lost = registry.counter("ring.lost")
+        self._obs_orphaned = registry.counter("ring.orphaned")
+        self._obs_rotation = registry.histogram("sat.rotation_slots")
+        self._obs_sat_releases = registry.counter("sat.releases")
+        self._obs_sat_holds = registry.counter("sat.holds")
+        self._obs_kills = registry.counter("ring.kills")
+        self._obs_inserts = registry.counter("ring.inserts")
+        self._obs_removes = registry.counter("ring.removes")
+        self._obs_recoveries = registry.counter("recovery.episodes")
+        self._obs_rebuilds = registry.counter("recovery.rebuilds")
+        self._obs_recovery_delay = registry.histogram("recovery.delay_slots")
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -254,6 +302,7 @@ class WRTRingNetwork:
             raise KeyError(f"unknown station {sid}")
         st.alive = False
         self.recovery.note_failure(sid, self.engine.now)
+        self._obs_kills.inc()
         self.trace.record(self.engine.now, "ring.kill", station=sid)
         # a SAT at/heading to the dead station is lost with it
         if self.sat.at_station == sid or self.sat.in_flight_to == sid:
@@ -304,6 +353,7 @@ class WRTRingNetwork:
         if self.channel is not None:
             self._register_station_listener(new_sid)
         self.recovery.on_membership_change(arm_new=new_sid)
+        self._obs_inserts.inc()
         self.trace.record(self.engine.now, "ring.insert",
                           station=new_sid, after=after)
         return st
@@ -322,6 +372,7 @@ class WRTRingNetwork:
         # waiting in its own class queues — leaves the network with it
         for queue in (st.transit, st.rt_queue, st.as_queue, st.be_queue):
             self.metrics.lost += len(queue)
+            self._obs_lost.inc(len(queue))
             for pkt in queue:
                 pkt.dropped = True
                 self.metrics.deadlines.observe_drop(pkt.deadline)
@@ -329,6 +380,7 @@ class WRTRingNetwork:
         if self.channel is not None:
             self.channel.remove_listener(sid)
         self.recovery.on_membership_change(removed=sid)
+        self._obs_removes.inc()
         self.trace.record(self.engine.now, "ring.remove", station=sid)
 
     # ------------------------------------------------------------------
@@ -421,6 +473,7 @@ class WRTRingNetwork:
                 # mobility broke this ring link: the frame is lost in the air
                 pkt.dropped = True
                 self.metrics.lost += 1
+                self._obs_lost.inc()
                 self.metrics.deadlines.observe_drop(pkt.deadline)
                 self.trace.record(t, "ring.link_loss", src=src_sid,
                                   dst=dst_sid)
@@ -429,6 +482,7 @@ class WRTRingNetwork:
             if not receiver.alive:
                 pkt.dropped = True
                 self.metrics.lost += 1
+                self._obs_lost.inc()
                 self.metrics.deadlines.observe_drop(pkt.deadline)
                 continue
             pkt.hops += 1
@@ -438,6 +492,7 @@ class WRTRingNetwork:
                 # came full circle: destination left the ring
                 pkt.dropped = True
                 self.metrics.orphaned += 1
+                self._obs_orphaned.inc()
                 self.metrics.deadlines.observe_drop(pkt.deadline)
             elif pkt.hops > n and pkt.dst not in self._pos:
                 # TTL: a full circuit without being stripped and the
@@ -446,11 +501,18 @@ class WRTRingNetwork:
                 # orphaned and would otherwise circulate forever
                 pkt.dropped = True
                 self.metrics.orphaned += 1
+                self._obs_orphaned.inc()
                 self.metrics.deadlines.observe_drop(pkt.deadline)
                 self.trace.record(t, "ring.orphan_ttl", src=pkt.src,
                                   dst=pkt.dst, hops=pkt.hops)
             else:
                 receiver.transit.append(pkt)
+
+        # slot-occupancy sampling for the timeline exporter: opt-in trace
+        # category, so steady-state runs pay one is_enabled lookup per tick
+        if self.trace.is_enabled("slot.occupancy"):
+            busy = sum(1 for p in outputs if p is not None)
+            self.trace.record(t, "slot.occupancy", busy=busy, capacity=n)
 
     def add_delivery_callback(self, sid: int,
                               callback: Callable[[Packet, float], None]) -> None:
@@ -462,6 +524,7 @@ class WRTRingNetwork:
         pkt.t_deliver = t
         receiver.on_deliver(pkt)
         self.metrics.delivered[pkt.service] += 1
+        self._obs_delivered[pkt.service].inc()
         self.metrics.e2e_delay[pkt.service].add(t - pkt.created)
         self.metrics.deadlines.observe(t, pkt.deadline)
         callback = self._delivery_callbacks.get(receiver.sid)
@@ -516,9 +579,13 @@ class WRTRingNetwork:
             self.recovery.start_graceful_cutout(failed=pred, originator=holder, t=t)
             return
 
+        self.trace.record(t, "sat.arrive", station=holder, kind=sat.kind)
+        if not station.satisfied:
+            self._obs_sat_holds.inc()
         rotation = station.on_sat_arrival(t)
         if rotation is not None:
             self.rotation_log.add(holder, rotation)
+            self._obs_rotation.observe(rotation)
             self.trace.record(t, "sat.rotation", station=holder, rotation=rotation)
         if holder == self.order[0]:
             sat.rounds += 1
@@ -544,4 +611,5 @@ class WRTRingNetwork:
             self.drop_sat()
             return
         sat.depart(nxt, t + self.config.sat_hop_slots)
+        self._obs_sat_releases.inc()
         self.trace.record(t, "sat.release", station=holder, to=nxt)

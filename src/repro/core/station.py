@@ -83,6 +83,12 @@ class WRTRingStation:
             return len(self.rt_queue) + len(self.as_queue) + len(self.be_queue)
         return len(self._queue_for(service))
 
+    def queue_depths(self) -> Dict[str, int]:
+        """Current depth of every buffer — the station's publishing surface
+        for the observability sampler (repro.obs.integrate)."""
+        return {"rt": len(self.rt_queue), "as": len(self.as_queue),
+                "be": len(self.be_queue), "transit": len(self.transit)}
+
     # ------------------------------------------------------------------
     # Sec. 2.2 send algorithm
     # ------------------------------------------------------------------

@@ -37,10 +37,18 @@ class FuzzCampaignResult:
     ran: int = 0
     cached: int = 0
     failed: List[Dict[str, Any]] = field(default_factory=list)
+    #: wall-clock duration of the campaign; reporting only — never stored
+    #: with the records, which must stay deterministic
+    elapsed_s: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.failed
+
+    @property
+    def cases_per_s(self) -> float:
+        """Freshly executed (non-cached) cases per wall-clock second."""
+        return self.ran / self.elapsed_s if self.elapsed_s else 0.0
 
 
 def _case_key(case: FuzzCase) -> str:
@@ -59,9 +67,12 @@ def run_fuzz_campaign(master_seed: int, runs: int,
     verdict is reused); every fresh failure is shrunk (when ``shrink``) and
     written as a repro bundle under ``out_dir``.
     """
+    import time
+
     out_dir = Path(out_dir)
     emit = progress if progress is not None else (lambda line: None)
     campaign = FuzzCampaignResult()
+    campaign_start = time.perf_counter()
 
     for index in range(runs):
         case = generate_case(master_seed, index, max_slots=max_slots)
@@ -117,4 +128,5 @@ def run_fuzz_campaign(master_seed: int, runs: int,
             campaign.failed.append(record)
 
     store.write_index()
+    campaign.elapsed_s = time.perf_counter() - campaign_start
     return campaign

@@ -1,0 +1,48 @@
+"""Observability: metrics registry, profiling spans, timeline export, and
+the perf-trajectory store.
+
+Four layers (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.registry` — counters / gauges / windowed histograms with
+  labeled series; near-zero overhead when disabled (the protocol holds
+  no-op instruments);
+* :mod:`repro.obs.profile` — wall-clock spans around the engine hot loop,
+  campaign workers and fuzz cases, aggregated into a per-run perf report;
+* :mod:`repro.obs.timeline` — renders protocol traces (SAT holds, RAP
+  windows, slot occupancy, membership churn) plus profiling spans to
+  Chrome-trace / Perfetto JSON (``python -m repro simulate --timeline``);
+* :mod:`repro.obs.perf` — the pinned benchmark suite and ``BENCH_perf.json``
+  trajectory with regression gating (``python -m repro perf run|check``).
+  Imported lazily (``from repro.obs import perf``): it pulls in the
+  campaign and fuzz stacks, which the core layers must not.
+
+Everything is off by default: unobserved runs pay one ``None`` check per
+``Engine.run`` call and no-op instrument calls on the ring's event paths.
+"""
+
+from repro.obs.integrate import attach_network_metrics, attach_run_profiling
+from repro.obs.profile import NullProfiler, Profiler, Span
+from repro.obs.registry import (NULL_INSTRUMENT, NULL_REGISTRY, Counter,
+                                Gauge, Histogram, MetricsError,
+                                MetricsRegistry)
+from repro.obs.timeline import (TIMELINE_CATEGORIES, build_timeline,
+                                enable_timeline_categories, export_timeline)
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_INSTRUMENT",
+    "NULL_REGISTRY",
+    "Profiler",
+    "NullProfiler",
+    "Span",
+    "TIMELINE_CATEGORIES",
+    "enable_timeline_categories",
+    "build_timeline",
+    "export_timeline",
+    "attach_network_metrics",
+    "attach_run_profiling",
+]

@@ -1,0 +1,52 @@
+"""Wiring helpers: attach observability to a built protocol stack.
+
+The protocol layers accept observability objects but never construct them —
+a run is unobserved unless the caller (CLI, tests, campaign harness) opts
+in.  This module is that opt-in surface:
+
+* :func:`attach_network_metrics` binds a :class:`~repro.obs.registry.MetricsRegistry`
+  to a :class:`~repro.core.ring.WRTRingNetwork` (delivery/loss counters,
+  SAT-rotation and recovery histograms — see ``WRTRingNetwork.bind_observability``)
+  and adds a periodic tick hook publishing per-station queue-depth gauges
+  (labeled series, one per station and class queue);
+* :func:`attach_run_profiling` points the engine at a
+  :class:`~repro.obs.profile.Profiler` so every ``Engine.run`` window lands
+  as a wall-clock span ("engine.run", with its executed-event count).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["attach_network_metrics", "attach_run_profiling"]
+
+
+def attach_network_metrics(net, registry, sample_every: int = 100) -> None:
+    """Bind ``registry`` to ``net`` and sample station state periodically.
+
+    ``sample_every`` is the sampling period in slots for the per-station
+    gauges (queue depths, membership); the event-driven instruments
+    (deliveries, losses, rotations, recoveries) are exact regardless.
+    """
+    if sample_every < 1:
+        raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+    net.bind_observability(registry)
+    if not registry.enabled:
+        return
+    members_gauge = registry.gauge("ring.members")
+
+    def sample(t: float) -> None:
+        if int(t) % sample_every:
+            return
+        members_gauge.set(net.n)
+        for sid in net.members:
+            for queue, depth in net.stations[sid].queue_depths().items():
+                registry.gauge("station.queue_depth",
+                               station=sid, queue=queue).set(depth)
+
+    net.add_tick_hook(sample)
+
+
+def attach_run_profiling(engine, profiler: Optional[object]) -> None:
+    """Attach ``profiler`` to ``engine`` (``None`` detaches)."""
+    engine.profiler = profiler

@@ -89,6 +89,11 @@ class Engine:
         self._running: bool = False
         self._stopped: bool = False
         self.events_executed: int = 0
+        #: optional :class:`repro.obs.profile.Profiler`; when set, every
+        #: :meth:`run` window is recorded as an "engine.run" wall-clock span
+        #: (two clock reads per run() call — nothing per event, so the hot
+        #: loop is untouched and the disabled cost is one None check)
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -155,6 +160,11 @@ class Engine:
         self._stopped = False
         executed = 0
         agenda = self._agenda
+        profiler = self.profiler
+        if profiler is not None:
+            import time as _time
+            wall_start = _time.perf_counter()
+            sim_start = self.now
         try:
             while agenda and not self._stopped:
                 handle = agenda[0]
@@ -172,6 +182,11 @@ class Engine:
                 handle.callback(*handle.args)
         finally:
             self._running = False
+            if profiler is not None:
+                profiler.record_span(
+                    "engine.run", wall_start,
+                    _time.perf_counter() - wall_start,
+                    events=executed, sim_from=sim_start, sim_to=self.now)
         if until is not None and not self._stopped and self.now < until:
             nxt = self.peek()
             if nxt is None or nxt > until:

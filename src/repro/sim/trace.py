@@ -6,8 +6,19 @@ procedures) need a cheap, queryable record of what happened and when.
 
 :class:`TraceRecorder` stores :class:`TraceEvent` records and supports
 category filtering at record time (so hot loops pay ~one dict lookup for
-disabled categories) and simple querying.  :class:`NullTraceRecorder` is a
-zero-cost stand-in for production-speed runs.
+disabled categories) and simple querying.  A per-category index is
+maintained at record time, so category-filtered queries (``select``,
+``times``, ``last``, ``count``) cost O(matches) instead of a full scan of
+the trace — repeated selects on large traces used to dominate analysis
+passes.  :class:`NullTraceRecorder` is a zero-cost stand-in for
+production-speed runs.
+
+Categories listed in :attr:`TraceRecorder.OPT_IN` are *disabled by
+default* and must be switched on explicitly (``trace.enable(...)``): they
+are high-volume diagnostics (per-tick slot occupancy, per-visit SAT
+arrivals) that only the timeline exporter needs, and recording them
+unconditionally would bloat steady-state traces and change fuzz trace
+hashes.
 """
 
 from __future__ import annotations
@@ -41,12 +52,16 @@ class TraceRecorder:
     individually.
     """
 
+    #: categories that are recorded only when explicitly enabled
+    OPT_IN = frozenset({"slot.occupancy", "sat.arrive"})
+
     def __init__(self, enabled: bool = True):
         self.events: List[TraceEvent] = []
         self._globally_enabled = enabled
-        self._category_enabled: Dict[str, bool] = {}
+        self._category_enabled: Dict[str, bool] = {c: False for c in self.OPT_IN}
         self._default_enabled = True
         self.counts: Dict[str, int] = {}
+        self._by_category: Dict[str, List[TraceEvent]] = {}
 
     # ------------------------------------------------------------------
     # configuration
@@ -74,8 +89,13 @@ class TraceRecorder:
     def record(self, time: float, category: str, /, **fields: Any) -> None:
         if not self.is_enabled(category):
             return
-        self.events.append(TraceEvent(time, category, fields))
+        event = TraceEvent(time, category, fields)
+        self.events.append(event)
         self.counts[category] = self.counts.get(category, 0) + 1
+        bucket = self._by_category.get(category)
+        if bucket is None:
+            bucket = self._by_category[category] = []
+        bucket.append(event)
 
     # ------------------------------------------------------------------
     # querying
@@ -84,11 +104,15 @@ class TraceRecorder:
                predicate: Optional[Callable[[TraceEvent], bool]] = None,
                since: float = float("-inf"),
                until: float = float("inf")) -> List[TraceEvent]:
-        """Events matching all given filters, in record order."""
+        """Events matching all given filters, in record order.
+
+        With a ``category`` the per-category index narrows the scan to the
+        matching events up front — O(matches), not O(len(trace)).
+        """
+        source = (self._by_category.get(category, [])
+                  if category is not None else self.events)
         out = []
-        for ev in self.events:
-            if category is not None and ev.category != category:
-                continue
+        for ev in source:
             if not (since <= ev.time <= until):
                 continue
             if predicate is not None and not predicate(ev):
@@ -100,17 +124,16 @@ class TraceRecorder:
         return self.counts.get(category, 0)
 
     def times(self, category: str) -> List[float]:
-        return [ev.time for ev in self.events if ev.category == category]
+        return [ev.time for ev in self._by_category.get(category, [])]
 
     def last(self, category: str) -> Optional[TraceEvent]:
-        for ev in reversed(self.events):
-            if ev.category == category:
-                return ev
-        return None
+        bucket = self._by_category.get(category)
+        return bucket[-1] if bucket else None
 
     def clear(self) -> None:
         self.events.clear()
         self.counts.clear()
+        self._by_category.clear()
 
     # ------------------------------------------------------------------
     # export

@@ -86,6 +86,41 @@ class TestSimulateCommand:
         assert config["traffic"]["kind"] == "poisson"
         assert config["traffic"]["rate"] == 0.03
 
+    def test_summary_carries_profiling_figures(self, capsys):
+        rc = main(["simulate", "--n", "6", "--horizon", "1000", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["elapsed_s"] > 0
+        assert payload["events_per_s"] > 0
+
+    def test_timeline_flag_exports_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "timeline.json"
+        rc = main(["simulate", "--n", "6", "--horizon", "1000", "--rap",
+                   "--timeline", str(out), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["timeline"]["path"] == str(out)
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        non_meta = [e for e in events if e.get("ph") != "M"]
+        assert payload["timeline"]["events"] == len(non_meta) > 0
+        cats = {e.get("cat") for e in non_meta}
+        assert "sat" in cats and "slots" in cats
+
+    def test_metrics_flag_embeds_registry_snapshot(self, capsys):
+        rc = main(["simulate", "--n", "6", "--horizon", "1000",
+                   "--metrics", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        delivered = sum(payload["metrics"]["ring.delivered"].values())
+        assert delivered == payload["delivered"] > 0
+
+    def test_no_metrics_flag_no_snapshot(self, capsys):
+        rc = main(["simulate", "--n", "4", "--horizon", "300", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" not in payload
+
 
 class TestSweepCommand:
     def _run(self, tmp_path, capsys, extra=()):

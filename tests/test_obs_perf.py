@@ -1,0 +1,191 @@
+"""Tests for the perf-trajectory store and regression gate (repro.obs.perf)."""
+
+import json
+
+import pytest
+
+from repro.obs import perf
+
+
+class TestSuite:
+    def test_quick_suite_yields_positive_rates(self):
+        results = perf.run_suite(quick=True, repeats=1)
+        assert set(results) == set(perf.SUITE)
+        assert all(rate > 0 for rate in results.values())
+
+    def test_repeats_keep_best(self, monkeypatch):
+        rates = iter([10.0, 30.0, 20.0])
+        monkeypatch.setattr(perf, "SUITE",
+                            {"fake": lambda quick: next(rates)})
+        results = perf.run_suite(quick=True, repeats=3,
+                                 progress=lambda line: None)
+        assert results["fake"] == 30.0
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            perf.run_suite(repeats=0)
+
+    def test_profiler_captures_spans(self, monkeypatch):
+        from repro.obs import Profiler
+        monkeypatch.setattr(perf, "SUITE", {"fake": lambda quick: 1.0})
+        profiler = Profiler()
+        perf.run_suite(quick=True, repeats=2, profiler=profiler)
+        assert profiler.count("perf.fake") == 2
+
+
+class TestTrajectoryStore:
+    def test_missing_file_is_empty_trajectory(self, tmp_path):
+        document = perf.load_trajectory(tmp_path / "nope.json")
+        assert document == {"schema": perf.SCHEMA, "records": []}
+
+    def test_append_creates_and_extends(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        record = perf.append_record(path, {"a": 100.0}, quick=True,
+                                    note="first")
+        assert record["quick"] is True
+        assert record["note"] == "first"
+        assert record["results"] == {"a": 100.0}
+        perf.append_record(path, {"a": 120.0})
+        document = perf.load_trajectory(path)
+        assert len(document["records"]) == 2
+        assert document["schema"] == perf.SCHEMA
+        assert "note" not in document["records"][-1]
+
+    def test_bare_list_tolerated(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps([{"results": {"a": 5.0}}]))
+        document = perf.load_trajectory(path)
+        assert document["records"][0]["results"] == {"a": 5.0}
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": 99, "records": []}))
+        with pytest.raises(ValueError):
+            perf.load_trajectory(path)
+
+    def test_record_carries_environment(self, tmp_path):
+        record = perf.append_record(tmp_path / "t.json", {"a": 1.0})
+        assert record["python"] and record["platform"]
+        assert "T" in record["timestamp"]
+
+
+class TestBaselineAndCompare:
+    def test_baseline_is_per_bench_median(self):
+        document = {"records": [
+            {"results": {"a": 100.0, "b": 10.0}},
+            {"results": {"a": 300.0, "b": 30.0}},
+            {"results": {"a": 200.0}},
+        ]}
+        baseline = perf.baseline_results(document)
+        assert baseline == {"a": 200.0, "b": 20.0}
+
+    def test_exclude_latest(self):
+        document = {"records": [{"results": {"a": 100.0}},
+                                {"results": {"a": 1.0}}]}
+        assert perf.baseline_results(document,
+                                     exclude_latest=True) == {"a": 100.0}
+
+    def test_within_threshold_passes(self):
+        regressions = perf.compare_results({"a": 100.0}, {"a": 90.0},
+                                           threshold=0.15)
+        assert regressions == []
+
+    def test_regression_detected(self):
+        regressions = perf.compare_results({"a": 100.0}, {"a": 80.0},
+                                           threshold=0.15)
+        assert len(regressions) == 1
+        assert regressions[0].bench == "a"
+        assert regressions[0].ratio == pytest.approx(0.8)
+        assert "a:" in regressions[0].describe()
+
+    def test_new_and_retired_benches_skipped(self):
+        assert perf.compare_results({"old": 100.0}, {"new": 1.0}) == []
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            perf.compare_results({}, {}, threshold=0.0)
+        with pytest.raises(ValueError):
+            perf.compare_results({}, {}, threshold=1.0)
+
+
+class TestCheckTrajectory:
+    def test_empty_trajectory_is_an_error(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"schema": 1, "records": []}))
+        with pytest.raises(ValueError):
+            perf.check_trajectory(path)
+
+    def test_single_record_passes_trivially(self, tmp_path):
+        path = tmp_path / "t.json"
+        perf.append_record(path, {"a": 100.0})
+        ok, regressions, info = perf.check_trajectory(path)
+        assert ok and regressions == []
+        assert info["baseline"] == {}
+
+    def test_steady_rates_pass(self, tmp_path):
+        path = tmp_path / "t.json"
+        for rate in (100.0, 102.0, 98.0):
+            perf.append_record(path, {"a": rate})
+        ok, regressions, _ = perf.check_trajectory(path)
+        assert ok
+
+    def test_synthetic_2x_slowdown_fails_the_gate(self, tmp_path):
+        """Acceptance criterion: a 2x slowdown must trip `perf check`."""
+        path = tmp_path / "t.json"
+        healthy = {"kernel_step_rate": 1_000_000.0, "ring_tick_rate": 50_000.0}
+        for _ in range(3):
+            perf.append_record(path, healthy)
+        slowed = {k: v / 2.0 for k, v in healthy.items()}
+        perf.append_record(path, slowed, note="synthetic 2x slowdown")
+        ok, regressions, info = perf.check_trajectory(path)
+        assert not ok
+        assert {r.bench for r in regressions} == set(healthy)
+        assert all(r.ratio == pytest.approx(0.5) for r in regressions)
+        assert info["baseline_source"] == "trajectory history"
+
+    def test_explicit_baseline_file(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        perf.append_record(baseline_path, {"a": 100.0})
+        path = tmp_path / "t.json"
+        perf.append_record(path, {"a": 40.0})
+        ok, regressions, info = perf.check_trajectory(
+            path, baseline_path=baseline_path)
+        assert not ok and regressions[0].baseline == 100.0
+        assert info["baseline_source"] == str(baseline_path)
+
+
+class TestPerfCli:
+    def test_run_then_check_round_trip(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        monkeypatch.setattr(perf, "SUITE",
+                            {"fake_rate": lambda quick: 500.0})
+        path = tmp_path / "BENCH_perf.json"
+        rc = main(["perf", "run", "--path", str(path), "--repeats", "1",
+                   "--quick", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"] == {"fake_rate": 500.0}
+        rc = main(["perf", "check", "--path", str(path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0 and payload["ok"] is True
+
+    def test_check_exits_nonzero_on_regression(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "t.json"
+        for _ in range(2):
+            perf.append_record(path, {"a": 100.0})
+        perf.append_record(path, {"a": 50.0})
+        rc = main(["perf", "check", "--path", str(path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "REGRESSION" in captured.err
+
+    def test_check_threshold_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "t.json"
+        perf.append_record(path, {"a": 100.0})
+        perf.append_record(path, {"a": 90.0})
+        assert main(["perf", "check", "--path", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["perf", "check", "--path", str(path),
+                     "--threshold", "0.05"]) == 1

@@ -87,6 +87,71 @@ class TestFiltering:
         assert len(tr) == 0
 
 
+class TestCategoryIndex:
+    """select/times/last answer from the per-category index — it must stay
+    consistent with the flat event list through every mutation."""
+
+    def test_index_matches_linear_scan(self):
+        tr = TraceRecorder()
+        for t in range(50):
+            tr.record(float(t), f"cat.{t % 5}", n=t)
+        for c in range(5):
+            indexed = tr.select(f"cat.{c}")
+            scanned = [e for e in tr.events if e.category == f"cat.{c}"]
+            assert indexed == scanned
+
+    def test_index_survives_clear(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a")
+        tr.clear()
+        tr.record(2.0, "a")
+        assert tr.times("a") == [2.0]
+        assert len(tr.select("a")) == 1
+
+    def test_unknown_category_is_empty(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a")
+        assert tr.select("zzz") == []
+        assert tr.times("zzz") == []
+        assert tr.last("zzz") is None
+
+    def test_select_without_category_scans_everything(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a")
+        tr.record(2.0, "b")
+        assert len(tr.select()) == 2
+        assert len(tr.select(since=1.5)) == 1
+
+
+class TestOptInCategories:
+    def test_opt_in_disabled_by_default(self):
+        tr = TraceRecorder()
+        for category in TraceRecorder.OPT_IN:
+            assert not tr.is_enabled(category)
+            tr.record(1.0, category)
+        assert len(tr) == 0
+
+    def test_opt_in_enabled_explicitly(self):
+        tr = TraceRecorder()
+        tr.enable(*TraceRecorder.OPT_IN)
+        for category in TraceRecorder.OPT_IN:
+            tr.record(1.0, category)
+        assert len(tr) == len(TraceRecorder.OPT_IN)
+
+    def test_non_opt_in_categories_unaffected(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "sat.release", station=0)
+        assert tr.count("sat.release") == 1
+
+    def test_enable_only_overrides_opt_in_default(self):
+        tr = TraceRecorder()
+        tr.enable_only(["slot.occupancy"])
+        tr.record(1.0, "slot.occupancy", busy=1)
+        tr.record(1.0, "sat.release")
+        assert tr.count("slot.occupancy") == 1
+        assert tr.count("sat.release") == 0
+
+
 class TestExport:
     def test_jsonl_round_trip(self, tmp_path):
         tr = TraceRecorder()
