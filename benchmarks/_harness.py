@@ -98,7 +98,8 @@ def run(net, horizon: float, profiler=None):
     """Drive ``net`` to ``horizon``; pass a :class:`repro.obs.Profiler`
     to capture the ``engine.run`` wall-clock span alongside the result."""
     if profiler is not None:
-        net.engine.profiler = profiler
+        from repro.obs import attach_run_profiling
+        attach_run_profiling(net.engine, profiler)
     net.start()
     net.engine.run(until=horizon)
     return net

@@ -1,0 +1,193 @@
+"""Microbenchmarks of the event bus — the spine's cost model, measured.
+
+The acceptance gate for the event-spine refactor: **disabled mode** (no
+subscribers beyond the network's own ``net.metrics``, the common case for
+kernel-speed runs) must cost less than 2% of kernel stepping.  The
+disabled cost is exactly the per-emit-site ``NULL_EMITTER`` call (or
+falsy check); kernel stepping is the engine's schedule+execute cycle
+(``kernel_step_rate`` in the perf suite).  The engine's inner loop
+contains **no per-event emit site** — the only thing the spine added to
+``Engine.run`` is one falsy check per run *window* — so the gate is
+asserted compositionally: measured per-check cost, amortized over the
+window's steps, against the measured step duration.
+
+One level up, the saturated ring tick contains every protocol emit site;
+the composed test measures the actual emitted-events-per-tick count
+empirically and prices the whole disabled-mode bill against the measured
+tick (observed ~4% of a 21 µs tick — which *replaces*, not adds to, the
+pre-spine inline ``trace.record``/null-instrument calls at the same
+sites; `python -m repro perf check` against the committed pre-spine
+baseline shows the end-to-end tick rate did not regress).
+"""
+
+import random
+import timeit
+
+from repro.core import Packet, ServiceClass, WRTRingConfig, WRTRingNetwork
+from repro.events import EventBus, NULL_EMITTER
+from repro.events import types as ev
+from repro.events.types import EVENT_TYPES
+from repro.sim import Engine
+
+
+def _best(stmt, number, repeat=7):
+    """Best-of-N per-call seconds — minimum is the right estimator for a
+    cost floor (noise only ever adds time)."""
+    return min(timeit.repeat(stmt, number=number, repeat=repeat)) / number
+
+
+def _engine_step_seconds(count=20_000):
+    engine = Engine()
+
+    def chain(i):
+        if i < count:
+            engine.schedule(1.0, chain, i + 1)
+
+    engine.schedule(0.0, chain, 0)
+    start = timeit.default_timer()
+    engine.run()
+    elapsed = timeit.default_timer() - start
+    assert engine.events_executed == count + 1
+    return elapsed / engine.events_executed
+
+
+def _saturated_ring(n=16):
+    engine = Engine()
+    cfg = WRTRingConfig.homogeneous(range(n), l=2, k=2, rap_enabled=False)
+    net = WRTRingNetwork(engine, list(range(n)), cfg)
+    rng = random.Random(1)
+
+    def top(t):
+        for sid in net.members:
+            st = net.stations[sid]
+            while len(st.rt_queue) < 5:
+                dst = rng.choice([d for d in net.members if d != sid])
+                st.enqueue(Packet(src=sid, dst=dst,
+                                  service=ServiceClass.PREMIUM,
+                                  created=t), t)
+
+    net.add_tick_hook(top)
+    return engine, net
+
+
+def _ring_tick_seconds(slots=1500):
+    engine, net = _saturated_ring()
+    net.start()
+    start = timeit.default_timer()
+    engine.run(until=float(slots))
+    elapsed = timeit.default_timer() - start
+    assert net.metrics.total_delivered > 0
+    return elapsed / slots
+
+
+def test_perf_null_emitter_is_cheap(benchmark):
+    """The disabled-mode primitive: one empty ``__call__``."""
+    def run():
+        emit = NULL_EMITTER
+        for _ in range(10_000):
+            emit(0.0, 1, None)
+        return True
+
+    assert benchmark(run)
+    per_call = benchmark.stats["mean"] / 10_000
+    # sub-microsecond with head-room for slow CI machines
+    assert per_call < 2e-6
+
+
+def test_perf_single_subscriber_emit(benchmark):
+    """Enabled mode: construct the typed event and call one callback."""
+    bus = EventBus()
+    seen = []
+    bus.subscribe(ev.SatRelease, seen.append)
+    emit = bus.emitter(ev.SatRelease)
+
+    def run():
+        for _ in range(10_000):
+            emit(1.0, 2, 3)
+        n = len(seen)
+        seen.clear()
+        return n
+
+    assert benchmark(run) == 10_000
+    per_call = benchmark.stats["mean"] / 10_000
+    assert per_call < 5e-6
+
+
+def test_disabled_mode_overhead_under_2_percent_of_kernel_stepping():
+    """The acceptance gate: <2% on kernel stepping (engine events/s).
+
+    The engine's inner loop has no emit site; the spine's entire addition
+    to ``Engine.run`` is one falsy check of the ``EngineRunWindow``
+    emitter per run *window*.  Amortized over a 20k-step window (the
+    ``kernel_step_rate`` workload) and priced at the measured cost of a
+    full null *call* (an upper bound on the falsy check actually in the
+    loop), the overhead is orders of magnitude inside the gate.
+    """
+    null_emit = _best(lambda: NULL_EMITTER(0.0, 1, None), number=200_000)
+    steps_per_window = 20_001
+    step = _engine_step_seconds(steps_per_window - 1)
+    overhead = null_emit / (steps_per_window * step)
+    print(f"\nnull emit {null_emit * 1e9:.0f} ns, engine step "
+          f"{step * 1e9:.0f} ns x {steps_per_window} steps/window "
+          f"-> disabled overhead {overhead:.6%}")
+    assert overhead < 0.02
+
+
+def test_ring_tick_disabled_bill_measured_and_bounded():
+    """The composed measurement one level up: every protocol emit site.
+
+    Counts the events a saturated 16-station ring actually emits per tick
+    (subscribing a counter to every event type), then prices that count
+    at the measured null-emit cost against the measured unobserved tick.
+    Observed ~4% — the spine's *total* disabled-mode bill for the whole
+    dataplane+SAT tick, replacing the pre-spine inline trace/instrument
+    calls at the same sites (the end-to-end tick-rate regression gate vs
+    the committed pre-spine baseline is `python -m repro perf check`).
+    Bounded at 10% to catch an accidental emit site in a per-packet inner
+    loop.
+    """
+    slots = 1000
+    engine, net = _saturated_ring()
+    counts = {et: 0 for et in EVENT_TYPES}
+
+    def counter(et):
+        def cb(_ev):
+            counts[et] += 1
+        return cb
+
+    for et in EVENT_TYPES:
+        net.events.subscribe(et, counter(et))
+    net.start()
+    engine.run(until=float(slots))
+    # SlotOccupancy only fires while subscribed; in disabled mode its
+    # falsy guard skips both the emit and the O(n) busy count
+    emits_per_tick = (sum(counts.values())
+                      - counts[ev.SlotOccupancy]) / slots
+
+    null_emit = _best(lambda: NULL_EMITTER(0.0, 1, None), number=200_000)
+    tick = _ring_tick_seconds()
+    overhead = emits_per_tick * null_emit / tick
+    print(f"\n{emits_per_tick:.1f} emits/tick x {null_emit * 1e9:.0f} ns "
+          f"vs tick {tick * 1e6:.1f} us -> disabled bill {overhead:.2%}")
+    assert emits_per_tick < 20
+    assert overhead < 0.10
+
+
+def test_unobserved_network_uses_null_emitters():
+    """Static guarantee behind the composition: with a null trace and no
+    observers, every bound emitter except the four ``net.metrics``
+    consumes (transmit/deliver/lost/orphaned — first-class simulation
+    outputs, inline before the refactor too) is the null emitter."""
+    engine = Engine()
+    cfg = WRTRingConfig.homogeneous(range(4), l=1, k=1, rap_enabled=False)
+    net = WRTRingNetwork(engine, list(range(4)), cfg)
+    metrics_fed = {"_ev_transmit", "_ev_deliver", "_ev_lost", "_ev_orphaned"}
+    bound = [name for name in dir(net) if name.startswith("_ev_")]
+    assert metrics_fed <= set(bound)
+    for name in bound:
+        emitter = getattr(net, name)
+        if name in metrics_fed:
+            assert emitter is not NULL_EMITTER, name
+        else:
+            assert emitter is NULL_EMITTER, name
+            assert not emitter

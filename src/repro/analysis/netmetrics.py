@@ -1,0 +1,82 @@
+"""Network-level delay/deadline accounting as an event-bus subscriber.
+
+Historically :class:`NetworkMetrics` was a passive struct that the ring
+dataplane (and each baseline MAC) mutated inline at every transmit,
+delivery and loss site.  It is now the *analysis* consumer of the event
+spine: it subscribes to the four packet-lifecycle events and derives
+exactly the same aggregates, so the protocol hot paths carry a single
+emit call instead of four lines of bookkeeping.
+
+Emit-site contract it relies on:
+
+* ``SlotTransmit.t`` is the slot in which the source inserted the packet
+  (access delay = ``t - packet.t_enqueue``);
+* ``SlotDeliver.t`` is the *delivery* time, one slot after the final
+  hop's transmit (e2e delay = ``t - packet.created``);
+* every ``PacketLost``/``PacketOrphaned`` carries the packet, whose
+  ``deadline`` feeds the miss/drop tracker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.metrics import DeadlineTracker, DelaySeries
+from repro.core.packet import ServiceClass
+from repro.events.types import (
+    PacketLost,
+    PacketOrphaned,
+    SlotDeliver,
+    SlotTransmit,
+)
+
+__all__ = ["NetworkMetrics"]
+
+
+class NetworkMetrics:
+    """Aggregated network-level measurements."""
+
+    def __init__(self) -> None:
+        self.access_delay: Dict[ServiceClass, DelaySeries] = {
+            c: DelaySeries(f"access[{c.short}]") for c in ServiceClass}
+        self.e2e_delay: Dict[ServiceClass, DelaySeries] = {
+            c: DelaySeries(f"e2e[{c.short}]") for c in ServiceClass}
+        self.deadlines = DeadlineTracker()
+        self.delivered: Dict[ServiceClass, int] = {c: 0 for c in ServiceClass}
+        self.transmitted: Dict[ServiceClass, int] = {c: 0 for c in ServiceClass}
+        self.lost = 0          # destroyed at a dead station / during rebuild
+        self.orphaned = 0      # circled back to source (destination gone)
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(self.delivered.values())
+
+    # ------------------------------------------------------------------
+    # event-bus subscription
+    # ------------------------------------------------------------------
+    def attach(self, bus) -> "NetworkMetrics":
+        """Subscribe to *bus*; returns self so construction chains."""
+        bus.subscribe(SlotTransmit, self._on_transmit)
+        bus.subscribe(SlotDeliver, self._on_deliver)
+        bus.subscribe(PacketLost, self._on_lost)
+        bus.subscribe(PacketOrphaned, self._on_orphaned)
+        return self
+
+    def _on_transmit(self, ev) -> None:
+        pkt = ev.packet
+        self.transmitted[pkt.service] += 1
+        self.access_delay[pkt.service].add(ev.t - pkt.t_enqueue)
+
+    def _on_deliver(self, ev) -> None:
+        pkt = ev.packet
+        self.delivered[pkt.service] += 1
+        self.e2e_delay[pkt.service].add(ev.t - pkt.created)
+        self.deadlines.observe(ev.t, pkt.deadline)
+
+    def _on_lost(self, ev) -> None:
+        self.lost += 1
+        self.deadlines.observe_drop(ev.packet.deadline)
+
+    def _on_orphaned(self, ev) -> None:
+        self.orphaned += 1
+        self.deadlines.observe_drop(ev.packet.deadline)

@@ -31,8 +31,11 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.netmetrics import NetworkMetrics
 from repro.core.packet import Packet, ServiceClass
-from repro.core.ring import NetworkMetrics
+from repro.events import EventBus, TraceAdapter
+from repro.events.bus import NULL_EMITTER
+from repro.events import types as _ev
 from repro.sim.engine import Engine
 from repro.sim.trace import NullTraceRecorder, TraceRecorder
 
@@ -65,6 +68,10 @@ class CSMAConfig:
 class CSMAStation:
     """One contender: a queue per access category plus its backoff state."""
 
+    #: :class:`~repro.events.types.PacketEnqueued` emitter, pushed in by the
+    #: owning network's binder
+    _ev_enqueued = NULL_EMITTER
+
     def __init__(self, sid: int, config: CSMAConfig, rng: random.Random):
         self.sid = sid
         self.config = config
@@ -94,6 +101,7 @@ class CSMAStation:
         else:
             self.be_queue.append(packet)
         self.enqueued[packet.service] += 1
+        self._ev_enqueued(now, self.sid, packet)
 
     def queue_length(self, service: Optional[ServiceClass] = None) -> int:
         if service is ServiceClass.PREMIUM:
@@ -178,7 +186,12 @@ class CSMANetwork:
             sid: CSMAStation(sid, self.config,
                              random.Random(rng.getrandbits(64)))
             for sid in station_ids}
-        self.metrics = NetworkMetrics()
+        self.events = EventBus()
+        self.metrics = NetworkMetrics().attach(self.events)
+        self._trace_adapter = None
+        if not isinstance(self.trace, NullTraceRecorder):
+            self._trace_adapter = TraceAdapter(self.trace).attach(self.events)
+        self.events.add_binder(self._bind_emitters)
         self.collision_slots = 0
         self.busy_slots = 0
         self.idle_slots = 0
@@ -188,6 +201,16 @@ class CSMANetwork:
         self._tick_handle = None
         self._tick_hooks: List[Callable[[float], None]] = []
         self._last_transmitters: List[int] = []
+
+    def _bind_emitters(self) -> None:
+        em = self.events.emitter
+        self._ev_transmit = em(_ev.SlotTransmit)
+        self._ev_deliver = em(_ev.SlotDeliver)
+        self._ev_lost = em(_ev.PacketLost)
+        self._ev_collision = em(_ev.CsmaCollision)
+        ev_enq = em(_ev.PacketEnqueued)
+        for st in self.stations.values():
+            st._ev_enqueued = ev_enq
 
     # ------------------------------------------------------------------
     def _in_range(self, a: int, b: int) -> bool:
@@ -273,19 +296,17 @@ class CSMANetwork:
             if dropped is not None:
                 dropped.dropped = True
                 self.dropped_retry += 1
-                self.metrics.lost += 1
-                self.metrics.deadlines.observe_drop(dropped.deadline)
+                self._ev_lost(t, dropped, "retry_limit",
+                              dropped.src, dropped.dst)
         if slot_had_collision:
             self.collision_slots += 1
-            self.trace.record(t, "csma.collision",
-                              stations=sorted(transmitters))
+            self._ev_collision(t, sorted(transmitters))
         self._tick_handle = self.engine.schedule(1.0, self._tick, priority=5)
 
     def _deliver(self, station: CSMAStation, t: float) -> None:
         pkt = station.on_success()
         pkt.t_send = t
-        self.metrics.transmitted[pkt.service] += 1
-        self.metrics.access_delay[pkt.service].add(t - pkt.t_enqueue)
+        self._ev_transmit(t, station.sid, pkt)
         receiver = self.stations.get(pkt.dst)
         if receiver is not None and not self._in_range(pkt.src, pkt.dst):
             # no routing in a plain contention MAC: an out-of-range
@@ -293,14 +314,12 @@ class CSMANetwork:
             receiver = None
         if receiver is None or not receiver.alive:
             pkt.dropped = True
-            self.metrics.lost += 1
-            self.metrics.deadlines.observe_drop(pkt.deadline)
+            reason = "dead_station" if receiver is not None else "unreachable"
+            self._ev_lost(t, pkt, reason, pkt.src, pkt.dst)
             return
         pkt.t_deliver = t + 1.0
         receiver.received[pkt.service] += 1
-        self.metrics.delivered[pkt.service] += 1
-        self.metrics.e2e_delay[pkt.service].add(pkt.t_deliver - pkt.created)
-        self.metrics.deadlines.observe(pkt.t_deliver, pkt.deadline)
+        self._ev_deliver(pkt.t_deliver, pkt.dst, pkt)
 
     # ------------------------------------------------------------------
     @property

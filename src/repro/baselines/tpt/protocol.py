@@ -32,9 +32,11 @@ from typing import Callable, Dict, List, Optional
 from repro.baselines.timed_token import TimedTokenRules
 from repro.baselines.tpt.station import TPTStation
 from repro.core.packet import Packet
+from repro.analysis.netmetrics import NetworkMetrics
 from repro.core.recovery import RecoveryRecord
-from repro.core.ring import NetworkMetrics
 from repro.core.sat import RotationLog
+from repro.events import EventBus, TraceAdapter
+from repro.events import types as _ev
 from repro.phy.topology import TopologyError, build_bfs_tree, dfs_token_tour
 from repro.sim.engine import Engine
 from repro.sim.timers import Timer
@@ -103,7 +105,12 @@ class TPTNetwork:
         self._rebuild_tour()
 
         self.rotation_log = RotationLog()
-        self.metrics = NetworkMetrics()
+        self.events = EventBus()
+        self.metrics = NetworkMetrics().attach(self.events)
+        self._trace_adapter = None
+        if not isinstance(self.trace, NullTraceRecorder):
+            self._trace_adapter = TraceAdapter(self.trace).attach(self.events)
+        self.events.add_binder(self._bind_emitters)
         self.records: List[RecoveryRecord] = []
         self.token_hops = 0
         self.rounds = 0
@@ -129,6 +136,26 @@ class TPTNetwork:
         self.started = False
         self._tick_handle = None
         self._tick_hooks: List[Callable[[float], None]] = []
+
+    def _bind_emitters(self) -> None:
+        em = self.events.emitter
+        self._ev_transmit = em(_ev.SlotTransmit)
+        self._ev_deliver = em(_ev.SlotDeliver)
+        self._ev_lost = em(_ev.PacketLost)
+        self._ev_kill = em(_ev.TptKill)
+        self._ev_token_lost = em(_ev.TptTokenLost)
+        self._ev_join = em(_ev.TptJoin)
+        self._ev_timeout = em(_ev.TptTimeout)
+        self._ev_reissued = em(_ev.TptTokenReissued)
+        self._ev_probe_lost = em(_ev.TptProbeLost)
+        self._ev_rebuild_start = em(_ev.TptRebuildStart)
+        self._ev_down = em(_ev.TptDown)
+        self._ev_rebuild_done = em(_ev.TptRebuildDone)
+        self._ev_rotation = em(_ev.TokenRotation)
+        self._ev_rap = em(_ev.TptRap)
+        self._ev_enqueued = em(_ev.PacketEnqueued)
+        for st in self.stations.values():
+            st._ev_enqueued = self._ev_enqueued
 
     # ------------------------------------------------------------------
     # structure
@@ -196,7 +223,7 @@ class TPTNetwork:
         timer = self.timers.pop(sid, None)
         if timer is not None:
             timer.stop()
-        self.trace.record(self.engine.now, "tpt.kill", station=sid)
+        self._ev_kill(self.engine.now, sid)
         current = self.tour[self._tour_idx]
         if self._holding and current == sid:
             self.drop_token()
@@ -209,7 +236,7 @@ class TPTNetwork:
         self._arrival_time = None
         if self._pending_event is None:
             self._pending_event = ("token_loss", None, self.engine.now)
-        self.trace.record(self.engine.now, "tpt.token_lost")
+        self._ev_token_lost(self.engine.now)
 
     # ------------------------------------------------------------------
     # join (abstracted handshake; admitted at the root's RAP)
@@ -245,11 +272,12 @@ class TPTNetwork:
             self.children[req.parent].append(req.new_sid)
             self.children[req.new_sid] = []
             self.config.H[req.new_sid] = req.H_new
-            self.stations[req.new_sid] = TPTStation(req.new_sid, req.H_new)
+            st = TPTStation(req.new_sid, req.H_new)
+            st._ev_enqueued = self._ev_enqueued
+            self.stations[req.new_sid] = st
             self._rebuild_tour()
             self._arm_timer(req.new_sid)
-            self.trace.record(t, "tpt.join", station=req.new_sid,
-                              parent=req.parent)
+            self._ev_join(t, req.new_sid, req.parent)
 
     # ------------------------------------------------------------------
     # timers / recovery
@@ -283,7 +311,7 @@ class TPTNetwork:
                                        "injected_station": event_sid})
         self.records.append(record)
         self._active_recovery = record
-        self.trace.record(t, "tpt.timeout", station=sid)
+        self._ev_timeout(t, sid)
         # launch a probe token from this station's first tour occurrence
         start_idx = self.tour.index(sid)
         self._probe = {"idx": start_idx, "origin_idx": start_idx,
@@ -311,8 +339,7 @@ class TPTNetwork:
             self._on_token_arrival(self.tour[self._tour_idx], t)
             for sid in self.children:
                 self._arm_timer(sid)
-            self.trace.record(t, "tpt.token_reissued",
-                              station=self.tour[self._tour_idx])
+            self._ev_reissued(t, self.tour[self._tour_idx])
             return
         nxt_idx = (probe["idx"] + 1) % len(self.tour)
         nxt_sid = self.tour[nxt_idx]
@@ -320,7 +347,7 @@ class TPTNetwork:
             # probe dies at the dead hop; originator's watchdog will fire
             # again and declare the tree lost
             self._probe = None
-            self.trace.record(t, "tpt.probe_lost", at=nxt_sid)
+            self._ev_probe_lost(t, nxt_sid)
             return
         probe["idx"] = nxt_idx
         probe["hops"] += 1
@@ -344,8 +371,7 @@ class TPTNetwork:
         duration = self.config.rebuild_slots_per_station * max(len(alive), 1)
         self.rebuilding_until = t + duration
         self._rebuild_initiator = initiator
-        self.trace.record(t, "tpt.rebuild_start", initiator=initiator,
-                          duration=duration)
+        self._ev_rebuild_start(t, initiator, duration)
 
     def _finish_rebuild(self, t: float) -> None:
         self.rebuilding_until = None
@@ -369,7 +395,7 @@ class TPTNetwork:
                 rec.t_completed = t
                 rec.extra["error"] = str(exc)
                 self._active_recovery = None
-            self.trace.record(t, "tpt.down", reason=str(exc))
+            self._ev_down(t, str(exc))
             return
         dead = [sid for sid in self.children if sid not in new_children]
         for sid in dead:
@@ -395,7 +421,7 @@ class TPTNetwork:
             rec.outcome = "rebuild"
             rec.t_completed = t
             self._active_recovery = None
-        self.trace.record(t, "tpt.rebuild_done", root=self.root)
+        self._ev_rebuild_done(t, self.root)
 
     # ------------------------------------------------------------------
     # the tick
@@ -453,12 +479,11 @@ class TPTNetwork:
             trt = station.grant_budgets(t, self.config.ttrt)
             if trt is not None:
                 self.rotation_log.add(holder, trt)
-                self.trace.record(t, "token.rotation", station=holder,
-                                  rotation=trt)
+                self._ev_rotation(t, holder, trt)
             if (self.config.rap_enabled and holder == self.root):
                 self.pause_until = t + self.config.t_rap
                 self.raps_opened += 1
-                self.trace.record(t, "tpt.rap", t_end=self.pause_until)
+                self._ev_rap(t, self.pause_until)
         else:
             station.sync_budget = 0
             station.async_budget = 0
@@ -475,16 +500,13 @@ class TPTNetwork:
 
     def _transmit(self, pkt: Packet, t: float) -> None:
         pkt.t_send = t
-        self.metrics.transmitted[pkt.service] += 1
-        self.metrics.access_delay[pkt.service].add(t - pkt.t_enqueue)
+        self._ev_transmit(t, pkt.src, pkt)
         dst = self.stations.get(pkt.dst)
         if dst is None or not dst.alive:
             pkt.dropped = True
-            self.metrics.lost += 1
-            self.metrics.deadlines.observe_drop(pkt.deadline)
+            reason = "dead_station" if dst is not None else "unreachable"
+            self._ev_lost(t, pkt, reason, pkt.src, pkt.dst)
             return
         pkt.t_deliver = t + 1.0
         dst.on_deliver(pkt)
-        self.metrics.delivered[pkt.service] += 1
-        self.metrics.e2e_delay[pkt.service].add(pkt.t_deliver - pkt.created)
-        self.metrics.deadlines.observe(pkt.t_deliver, pkt.deadline)
+        self._ev_deliver(pkt.t_deliver, pkt.dst, pkt)

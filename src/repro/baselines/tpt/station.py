@@ -13,12 +13,17 @@ from collections import deque
 from typing import Deque, Dict, Optional
 
 from repro.core.packet import Packet, ServiceClass
+from repro.events.bus import NULL_EMITTER
 
 __all__ = ["TPTStation"]
 
 
 class TPTStation:
     """Protocol state of one tree member."""
+
+    #: :class:`~repro.events.types.PacketEnqueued` emitter, pushed in by the
+    #: owning network's binder
+    _ev_enqueued = NULL_EMITTER
 
     def __init__(self, sid: int, H: int):
         if H < 0:
@@ -50,6 +55,7 @@ class TPTStation:
         else:
             self.be_queue.append(packet)
         self.enqueued[packet.service] += 1
+        self._ev_enqueued(now, self.sid, packet)
 
     def queue_length(self, service: Optional[ServiceClass] = None) -> int:
         if service is None:

@@ -231,18 +231,19 @@ def _run_observed(scenario, timeline: Optional[str],
     the metrics registry are attached only on request.
     """
     from repro.obs import (MetricsRegistry, Profiler, attach_network_metrics,
-                           enable_timeline_categories, export_timeline)
+                           attach_run_profiling, enable_timeline_categories,
+                           export_timeline)
     from repro.scenarios import build_scenario
 
     built = build_scenario(scenario)
     profiler = Profiler()
-    built.engine.profiler = profiler
+    attach_run_profiling(built.engine, profiler)
     registry = None
     if metrics:
         registry = MetricsRegistry()
         attach_network_metrics(built.network, registry)
     if timeline:
-        enable_timeline_categories(built.trace)
+        enable_timeline_categories(built.trace, built.network)
 
     built.engine.run(until=scenario.horizon)
 

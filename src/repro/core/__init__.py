@@ -16,7 +16,7 @@ from repro.core.quotas import QuotaConfig
 from repro.core.config import WRTRingConfig
 from repro.core.station import WRTRingStation
 from repro.core.sat import SAT, RotationLog
-from repro.core.ring import WRTRingNetwork, RingSlot
+from repro.core.ring import WRTRingNetwork
 from repro.core.join import JoinRequester, JoinOutcome
 from repro.core.admission import AdmissionController, AdmissionDecision
 from repro.core.diffserv import DiffservProfile, split_k_quota
@@ -30,7 +30,6 @@ __all__ = [
     "SAT",
     "RotationLog",
     "WRTRingNetwork",
-    "RingSlot",
     "JoinRequester",
     "JoinOutcome",
     "AdmissionController",

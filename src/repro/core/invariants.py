@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.packet import ServiceClass
+from repro.events.types import RingTick
 
 __all__ = ["InvariantViolation", "RingInvariantChecker"]
 
@@ -35,7 +36,10 @@ class InvariantViolation(AssertionError):
 
 
 class RingInvariantChecker:
-    """Attach with ``net.add_tick_hook(checker.on_tick)``.
+    """Attach with ``checker.attach(net.events)``: the checker subscribes to
+    the per-tick :class:`~repro.events.types.RingTick` event, which fires
+    after the tick hooks (so traffic injected this tick is already
+    enqueued) and before the dataplane moves anything.
 
     ``strict`` raises on first violation; otherwise violations accumulate
     in :attr:`violations` for post-mortem inspection.
@@ -47,6 +51,13 @@ class RingInvariantChecker:
         self.violations: List[str] = []
         self.checks_run = 0
         self._enqueued_baseline = self._total_enqueued()
+
+    def attach(self, bus) -> "RingInvariantChecker":
+        bus.subscribe(RingTick, self._on_tick_event)
+        return self
+
+    def _on_tick_event(self, ev) -> None:
+        self.on_tick(ev.t)
 
     # ------------------------------------------------------------------
     def _fail(self, message: str) -> None:

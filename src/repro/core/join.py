@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 
 from repro.core.admission import AdmissionController
 from repro.core.quotas import QuotaConfig
+from repro.events import types as _ev
 from repro.phy.cdma import BROADCAST_CODE
 from repro.phy.channel import Frame
 from repro.sim.process import Signal
@@ -117,6 +118,13 @@ class JoinManager:
         if net.channel is not None:
             for sid in net.order:
                 net.register_frame_handler(sid, self._on_station_frame)
+        net.events.add_binder(self._bind_emitters)
+
+    def _bind_emitters(self) -> None:
+        em = self.net.events.emitter
+        self._ev_open = em(_ev.RapOpen)
+        self._ev_request = em(_ev.RapRequest)
+        self._ev_close = em(_ev.RapClose)
 
     # ------------------------------------------------------------------
     def effective_s_round(self) -> int:
@@ -148,7 +156,7 @@ class JoinManager:
             t_ear_end=t + cfg.t_ear, t_end=t + cfg.t_rap)
         net.pause_until = t + cfg.t_rap
         self.raps_opened += 1
-        net.trace.record(t, "rap.open", ingress=holder)
+        self._ev_open(t, holder)
 
         if net.channel is not None:
             nxt = net.successor(holder)
@@ -175,14 +183,12 @@ class JoinManager:
         self.session = None
         req = session.accepted
         if req is None:
-            self.net.trace.record(t, "rap.close", ingress=session.ingress,
-                                  joined=None)
+            self._ev_close(t, session.ingress, None, None)
             return
         if req.requester in self.net._pos:
             # stale duplicate accept (the requester's earlier ACK was lost
             # to a collision and it re-requested); the ring already has it
-            self.net.trace.record(t, "rap.close", ingress=session.ingress,
-                                  joined=None, duplicate=req.requester)
+            self._ev_close(t, session.ingress, None, req.requester)
             return
         code = req.code_new
         used = {self.net.codes.code_of(s) for s in self.net.codes.stations()}
@@ -199,8 +205,7 @@ class JoinManager:
                 payload=RingUpdate(new_station=req.requester,
                                    after_station=session.ingress),
                 kind="control"))
-        self.net.trace.record(t, "rap.close", ingress=session.ingress,
-                              joined=req.requester)
+        self._ev_close(t, session.ingress, req.requester, None)
 
     # ------------------------------------------------------------------
     def _on_station_frame(self, frame: Frame, t: float) -> None:
@@ -226,9 +231,8 @@ class JoinManager:
             session.accepted = payload
         else:
             self.joins_rejected += 1
-        self.net.trace.record(t, "rap.request", requester=payload.requester,
-                              accepted=decision.accepted,
-                              reason=decision.reason)
+        self._ev_request(t, payload.requester, decision.accepted,
+                         decision.reason)
 
 
 # ----------------------------------------------------------------------

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.sat import SAT
+from repro.events import types as _ev
 from repro.phy.cdma import BROADCAST_CODE
 from repro.phy.channel import Frame
 from repro.phy.topology import TopologyError, construct_ring
@@ -87,6 +88,20 @@ class RecoveryManager:
         #: slots the network spent paused in re-formation procedures —
         #: the unavailability the mobility experiments report
         self.total_rebuild_time = 0.0
+        net.events.add_binder(self._bind_emitters)
+
+    def _bind_emitters(self) -> None:
+        em = self.net.events.emitter
+        self._ev_timeout = em(_ev.SatTimeout)
+        self._ev_graceful = em(_ev.GracefulCutout)
+        self._ev_rec_failed = em(_ev.SatRecFailed)
+        self._ev_recovered = em(_ev.SatRecovered)
+        self._ev_rebuild_start = em(_ev.RebuildStart)
+        self._ev_rebuild_retry = em(_ev.RebuildRetry)
+        self._ev_rebuild_done = em(_ev.RebuildDone)
+        self._ev_down = em(_ev.RingDown)
+        self._ev_episode = em(_ev.RecoveryEpisode)
+        self._ev_lost = em(_ev.PacketLost)
 
     # ------------------------------------------------------------------
     # timers
@@ -167,7 +182,7 @@ class RecoveryManager:
                                        "injected_station": event_sid})
         self.records.append(record)
         self.active = record
-        net.trace.record(t, "sat.timeout", station=sid, presumed_failed=presumed)
+        self._ev_timeout(t, sid, presumed)
 
         # launch the SAT_REC from the detector
         sat = SAT()
@@ -191,7 +206,7 @@ class RecoveryManager:
         sat.to_recovery(failed_station=failed, originator=originator)
         net.stations[originator].on_sat_release(t)
         self.restart_timer(originator)
-        net.trace.record(t, "sat.graceful_cutout", station=failed)
+        self._ev_graceful(t, failed)
         self._forward_sat_rec(originator, t)
 
     # ------------------------------------------------------------------
@@ -210,8 +225,7 @@ class RecoveryManager:
                 # dies and the originator's timer will declare the ring lost
                 net._sat_lost = True
                 sat.at_station = None
-                net.trace.record(t, "sat.rec_failed", at=holder,
-                                 unreachable=target)
+                self._ev_rec_failed(t, holder, target)
                 return
             nxt = target
         if net.config.enforce_radio_links and not net.reachable(holder, nxt):
@@ -219,7 +233,7 @@ class RecoveryManager:
             # originator's watchdog will escalate to a full re-formation
             net._sat_lost = True
             sat.at_station = None
-            net.trace.record(t, "sat.rec_failed", at=holder, unreachable=nxt)
+            self._ev_rec_failed(t, holder, nxt)
             return
         sat.depart(nxt, t + net.config.sat_hop_slots)
 
@@ -253,10 +267,10 @@ class RecoveryManager:
         if self.active is not None:
             self.active.t_completed = t
             self.active.outcome = "cutout"
-            self._publish_episode(self.active)
+            self._publish_episode(self.active, t)
             self.active = None
         self.on_membership_change()
-        net.trace.record(t, "sat.recovered", removed=failed, at=holder)
+        self._ev_recovered(t, failed, holder)
 
     # ------------------------------------------------------------------
     # full ring re-formation
@@ -285,8 +299,7 @@ class RecoveryManager:
         if net.channel is not None:
             net.channel.transmit(Frame(src=initiator, code=BROADCAST_CODE,
                                        payload="RING_LOST", kind="control"))
-        net.trace.record(t, "ring.rebuild_start", initiator=initiator,
-                         duration=duration)
+        self._ev_rebuild_start(t, initiator, duration)
 
     def finish_rebuild(self, t: float) -> None:
         net = self.net
@@ -310,18 +323,16 @@ class RecoveryManager:
                 duration = self.REBUILD_SLOTS_PER_STATION * len(alive)
                 net.rebuilding_until = t + duration
                 self.total_rebuild_time += duration
-                net.trace.record(t, "ring.rebuild_retry",
-                                 attempt=self._rebuild_attempts,
-                                 reason=str(exc))
+                self._ev_rebuild_retry(t, self._rebuild_attempts, str(exc))
                 return
             net.network_down = True
             if self.active is not None:
                 self.active.outcome = "down"
                 self.active.t_completed = t
                 self.active.extra["error"] = str(exc)
-                self._publish_episode(self.active)
+                self._publish_episode(self.active, t)
                 self.active = None
-            net.trace.record(t, "ring.down", reason=str(exc))
+            self._ev_down(t, str(exc))
             return
 
         dropped = [sid for sid in net.order if sid not in new_order]
@@ -330,18 +341,15 @@ class RecoveryManager:
             # every packet still buffered at a dropped station is lost —
             # class queues included, not just the insertion buffer
             for queue in (st.transit, st.rt_queue, st.as_queue, st.be_queue):
-                net.metrics.lost += len(queue)
-                net._obs_lost.inc(len(queue))
                 for pkt in queue:
                     pkt.dropped = True
-                    net.metrics.deadlines.observe_drop(pkt.deadline)
+                    self._ev_lost(t, pkt, "rebuild", sid, None)
                 queue.clear()
             if net.channel is not None:
                 net.channel.remove_listener(sid)
         net.order = new_order
         net._reindex()
         self.ring_rebuilds += 1
-        net._obs_rebuilds.inc()
 
         initiator = self._rebuild_initiator
         if initiator not in net._pos:
@@ -358,17 +366,14 @@ class RecoveryManager:
         if self.active is not None:
             self.active.outcome = "rebuild"
             self.active.t_completed = t
-            self._publish_episode(self.active)
+            self._publish_episode(self.active, t)
             self.active = None
-        net.trace.record(t, "ring.rebuild_done", order=list(net.order))
+        self._ev_rebuild_done(t, list(net.order))
 
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
-    def _publish_episode(self, record: RecoveryRecord) -> None:
-        """Publish a finished episode into the network's bound registry
-        (no-op instruments when observability is off)."""
-        net = self.net
-        net._obs_recoveries.inc()
-        if record.total_delay is not None:
-            net._obs_recovery_delay.observe(record.total_delay)
+    def _publish_episode(self, record: RecoveryRecord, t: float) -> None:
+        """Emit the finished episode onto the event bus (obs counts them)."""
+        self._ev_episode(t, record.kind, record.outcome,
+                         record.failed_station, record.total_delay)

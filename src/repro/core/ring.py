@@ -24,59 +24,38 @@ Tick ordering (at integer time ``t``):
    RAP, while rebuilding, or before the ring is up),
 3. SAT step (arrival processing, RAP entry, hold/release),
 4. PHY channel resolution (control handshakes, optional data validation).
+
+Instrumentation
+---------------
+The network publishes every protocol fact exactly once as a typed event on
+``self.events`` (see :mod:`repro.events`): trace recording, obs metrics,
+fuzz oracles and the delay/deadline accounting in
+:class:`repro.analysis.netmetrics.NetworkMetrics` are all subscribers.
+Emit sites hold per-event emitter callables (rebound by the bus whenever
+subscriptions change), so an unobserved event costs one no-op call and an
+unobserved *computation* (e.g. the slot-occupancy count) is skipped via
+the emitter's falsiness.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.bounds import sat_rotation_bound
-from repro.analysis.metrics import DeadlineTracker, DelaySeries
+from repro.analysis.netmetrics import NetworkMetrics
 from repro.core.config import WRTRingConfig
-from repro.core.packet import Packet, ServiceClass
+from repro.core.packet import Packet
 from repro.core.quotas import QuotaConfig
 from repro.core.sat import SAT, RotationLog
 from repro.core.station import WRTRingStation
-from repro.obs.registry import NULL_INSTRUMENT
+from repro.events import EventBus, TraceAdapter
+from repro.events import types as _ev
 from repro.phy.cdma import BROADCAST_CODE, CodeSpace, assign_codes_sequential
 from repro.phy.channel import Frame, SlottedChannel
 from repro.sim.engine import Engine
 from repro.sim.trace import NullTraceRecorder, TraceRecorder
 
-__all__ = ["WRTRingNetwork", "RingSlot", "NetworkMetrics"]
-
-
-class RingSlot:  # retained for API compatibility with slot-oriented tooling
-    """A slot on the medium; used by introspection helpers and tests."""
-
-    __slots__ = ("packet",)
-
-    def __init__(self, packet: Optional[Packet] = None):
-        self.packet = packet
-
-    @property
-    def busy(self) -> bool:
-        return self.packet is not None
-
-
-class NetworkMetrics:
-    """Aggregated network-level measurements."""
-
-    def __init__(self) -> None:
-        self.access_delay: Dict[ServiceClass, DelaySeries] = {
-            c: DelaySeries(f"access[{c.short}]") for c in ServiceClass}
-        self.e2e_delay: Dict[ServiceClass, DelaySeries] = {
-            c: DelaySeries(f"e2e[{c.short}]") for c in ServiceClass}
-        self.deadlines = DeadlineTracker()
-        self.delivered: Dict[ServiceClass, int] = {c: 0 for c in ServiceClass}
-        self.transmitted: Dict[ServiceClass, int] = {c: 0 for c in ServiceClass}
-        self.lost = 0          # destroyed at a dead station / during rebuild
-        self.orphaned = 0      # circled back to source (destination gone)
-
-    @property
-    def total_delivered(self) -> int:
-        return sum(self.delivered.values())
+__all__ = ["WRTRingNetwork", "NetworkMetrics"]
 
 
 class WRTRingNetwork:
@@ -102,6 +81,16 @@ class WRTRingNetwork:
     codes:
         Optional :class:`~repro.phy.cdma.CodeSpace`; defaults to sequential
         unique codes, the paper's base assumption.
+    trace:
+        Optional :class:`~repro.sim.trace.TraceRecorder`.  When given (and
+        not a null recorder) the network attaches a
+        :class:`~repro.events.TraceAdapter` rendering its events into the
+        legacy trace-record stream.
+    events:
+        Optional :class:`~repro.events.EventBus` to publish on.  By default
+        the network owns a fresh bus.  A caller providing a shared bus is
+        responsible for any trace adapter on it (the network only attaches
+        one to a bus it owns, so a shared trace never records twice).
     """
 
     def __init__(self, engine: Engine, ring_order: List[int],
@@ -109,7 +98,8 @@ class WRTRingNetwork:
                  graph=None,
                  channel: Optional[SlottedChannel] = None,
                  codes: Optional[CodeSpace] = None,
-                 trace: Optional[TraceRecorder] = None):
+                 trace: Optional[TraceRecorder] = None,
+                 events: Optional[EventBus] = None):
         if len(ring_order) < 2:
             raise ValueError("a ring needs at least 2 stations")
         if len(set(ring_order)) != len(ring_order):
@@ -135,7 +125,6 @@ class WRTRingNetwork:
         self._sat_lost = False
         self._sat_bound_cache = None
         self.rotation_log = RotationLog()
-        self.metrics = NetworkMetrics()
 
         self.pause_until: float = float("-inf")   # RAP pause window end
         self.rebuilding_until: Optional[float] = None
@@ -146,10 +135,15 @@ class WRTRingNetwork:
         self._frame_handlers: Dict[int, Callable[[Frame, float], None]] = {}
         self._delivery_callbacks: Dict[int, Callable[[Packet, float], None]] = {}
 
-        # observability instruments: no-ops until bind_observability() —
-        # the hot paths call them unconditionally, so an unobserved run
-        # pays only empty method calls (see repro.obs.registry)
-        self._bind_null_observability()
+        # the event spine: analysis metrics subscribe first (so on fanned-out
+        # events the accounting runs before the trace record, matching the
+        # legacy inline order), then the trace adapter
+        self.events = events if events is not None else EventBus()
+        self.metrics = NetworkMetrics().attach(self.events)
+        self._trace_adapter: Optional[TraceAdapter] = None
+        if events is None and not isinstance(self.trace, NullTraceRecorder):
+            self._trace_adapter = TraceAdapter(self.trace).attach(self.events)
+        self.events.add_binder(self._bind_emitters)
 
         # managers (imported lazily to avoid import cycles)
         from repro.core.join import JoinManager
@@ -212,46 +206,29 @@ class WRTRingNetwork:
             sid, {self.codes.code_of(sid), BROADCAST_CODE})
 
     # ------------------------------------------------------------------
-    # observability
+    # event emitters (rebound by the bus on every subscription change)
     # ------------------------------------------------------------------
-    def _bind_null_observability(self) -> None:
-        self._obs_delivered = {c: NULL_INSTRUMENT for c in ServiceClass}
-        self._obs_lost = NULL_INSTRUMENT
-        self._obs_orphaned = NULL_INSTRUMENT
-        self._obs_rotation = NULL_INSTRUMENT
-        self._obs_sat_releases = NULL_INSTRUMENT
-        self._obs_sat_holds = NULL_INSTRUMENT
-        self._obs_kills = NULL_INSTRUMENT
-        self._obs_inserts = NULL_INSTRUMENT
-        self._obs_removes = NULL_INSTRUMENT
-        self._obs_recoveries = NULL_INSTRUMENT
-        self._obs_rebuilds = NULL_INSTRUMENT
-        self._obs_recovery_delay = NULL_INSTRUMENT
-
-    def bind_observability(self, registry) -> None:
-        """Publish this network's event streams into ``registry``.
-
-        Counters: ``ring.delivered`` (labeled per service class),
-        ``ring.lost``, ``ring.orphaned``, ``ring.kills``, ``ring.inserts``,
-        ``ring.removes``, ``sat.releases``, ``sat.holds``,
-        ``recovery.episodes``, ``recovery.rebuilds``.  Histograms:
-        ``sat.rotation_slots``, ``recovery.delay_slots``.  Passing a
-        disabled registry rebinds the shared no-op instruments.
-        """
-        self._obs_delivered = {
-            c: registry.counter("ring.delivered", service=c.short)
-            for c in ServiceClass}
-        self._obs_lost = registry.counter("ring.lost")
-        self._obs_orphaned = registry.counter("ring.orphaned")
-        self._obs_rotation = registry.histogram("sat.rotation_slots")
-        self._obs_sat_releases = registry.counter("sat.releases")
-        self._obs_sat_holds = registry.counter("sat.holds")
-        self._obs_kills = registry.counter("ring.kills")
-        self._obs_inserts = registry.counter("ring.inserts")
-        self._obs_removes = registry.counter("ring.removes")
-        self._obs_recoveries = registry.counter("recovery.episodes")
-        self._obs_rebuilds = registry.counter("recovery.rebuilds")
-        self._obs_recovery_delay = registry.histogram("recovery.delay_slots")
+    def _bind_emitters(self) -> None:
+        em = self.events.emitter
+        self._ev_tick = em(_ev.RingTick)
+        self._ev_transmit = em(_ev.SlotTransmit)
+        self._ev_deliver = em(_ev.SlotDeliver)
+        self._ev_lost = em(_ev.PacketLost)
+        self._ev_orphaned = em(_ev.PacketOrphaned)
+        self._ev_occupancy = em(_ev.SlotOccupancy)
+        self._ev_sat_arrive = em(_ev.SatArrive)
+        self._ev_sat_hold = em(_ev.SatHold)
+        self._ev_sat_rotation = em(_ev.SatRotation)
+        self._ev_sat_release = em(_ev.SatRelease)
+        self._ev_sat_lost = em(_ev.SatLost)
+        self._ev_sat_link_loss = em(_ev.SatLinkLoss)
+        self._ev_kill = em(_ev.StationKilled)
+        self._ev_leave = em(_ev.LeaveAnnounced)
+        self._ev_insert = em(_ev.StationInserted)
+        self._ev_remove = em(_ev.StationRemoved)
+        self._ev_enqueued = em(_ev.PacketEnqueued)
+        for st in self.stations.values():
+            st._ev_enqueued = self._ev_enqueued
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -302,8 +279,7 @@ class WRTRingNetwork:
             raise KeyError(f"unknown station {sid}")
         st.alive = False
         self.recovery.note_failure(sid, self.engine.now)
-        self._obs_kills.inc()
-        self.trace.record(self.engine.now, "ring.kill", station=sid)
+        self._ev_kill(self.engine.now, sid)
         # a SAT at/heading to the dead station is lost with it
         if self.sat.at_station == sid or self.sat.in_flight_to == sid:
             self.drop_sat()
@@ -317,7 +293,7 @@ class WRTRingNetwork:
         if len(self.order) <= 2:
             raise RuntimeError("cannot leave: ring would drop below 2 stations")
         st.leaving = True
-        self.trace.record(self.engine.now, "ring.leave_announced", station=sid)
+        self._ev_leave(self.engine.now, sid)
 
     def drop_sat(self) -> None:
         """Inject a control-signal loss (Sec. 2.5's trigger)."""
@@ -326,7 +302,7 @@ class WRTRingNetwork:
         self.sat.in_flight_to = None
         self.sat.arrival_time = None
         self.recovery.note_sat_loss(self.engine.now)
-        self.trace.record(self.engine.now, "sat.lost")
+        self._ev_sat_lost(self.engine.now)
 
     # ------------------------------------------------------------------
     # membership mutation (used by join/recovery managers)
@@ -343,6 +319,7 @@ class WRTRingNetwork:
         if after not in self._pos:
             raise KeyError(f"ingress {after} is not a ring member")
         st = WRTRingStation(new_sid, quota)
+        st._ev_enqueued = self._ev_enqueued
         self.stations[new_sid] = st
         self.config.quotas[new_sid] = quota
         self.order.insert(self._pos[after] + 1, new_sid)
@@ -353,9 +330,7 @@ class WRTRingNetwork:
         if self.channel is not None:
             self._register_station_listener(new_sid)
         self.recovery.on_membership_change(arm_new=new_sid)
-        self._obs_inserts.inc()
-        self.trace.record(self.engine.now, "ring.insert",
-                          station=new_sid, after=after)
+        self._ev_insert(self.engine.now, new_sid, after)
         return st
 
     def remove_station(self, sid: int) -> None:
@@ -368,20 +343,18 @@ class WRTRingNetwork:
         self._reindex()
         st = self.stations[sid]
         st.alive = False
+        t = self.engine.now
         # every packet still buffered at the removed station — in transit or
         # waiting in its own class queues — leaves the network with it
         for queue in (st.transit, st.rt_queue, st.as_queue, st.be_queue):
-            self.metrics.lost += len(queue)
-            self._obs_lost.inc(len(queue))
             for pkt in queue:
                 pkt.dropped = True
-                self.metrics.deadlines.observe_drop(pkt.deadline)
+                self._ev_lost(t, pkt, "removed", sid, None)
             queue.clear()
         if self.channel is not None:
             self.channel.remove_listener(sid)
         self.recovery.on_membership_change(removed=sid)
-        self._obs_removes.inc()
-        self.trace.record(self.engine.now, "ring.remove", station=sid)
+        self._ev_remove(t, sid)
 
     # ------------------------------------------------------------------
     # the tick
@@ -390,6 +363,7 @@ class WRTRingNetwork:
         t = self.engine.now
         for hook in self._tick_hooks:
             hook(t)
+        self._ev_tick(t)
 
         if self.network_down:
             self._flush_channel(t)
@@ -446,9 +420,7 @@ class WRTRingNetwork:
                 pkt = st.select_packet()
                 if pkt is not None:
                     pkt.t_send = t
-                    self.metrics.transmitted[pkt.service] += 1
-                    series = self.metrics.access_delay[pkt.service]
-                    series.add(t - pkt.t_enqueue)
+                    self._ev_transmit(t, st.sid, pkt)
                     outputs[idx] = pkt
                 elif st.transit:
                     outputs[idx] = st.transit.popleft()
@@ -472,18 +444,12 @@ class WRTRingNetwork:
             if enforce and not self.reachable(src_sid, dst_sid):
                 # mobility broke this ring link: the frame is lost in the air
                 pkt.dropped = True
-                self.metrics.lost += 1
-                self._obs_lost.inc()
-                self.metrics.deadlines.observe_drop(pkt.deadline)
-                self.trace.record(t, "ring.link_loss", src=src_sid,
-                                  dst=dst_sid)
+                self._ev_lost(t, pkt, "link", src_sid, dst_sid)
                 continue
             receiver = stations[dst_sid]
             if not receiver.alive:
                 pkt.dropped = True
-                self.metrics.lost += 1
-                self._obs_lost.inc()
-                self.metrics.deadlines.observe_drop(pkt.deadline)
+                self._ev_lost(t, pkt, "dead_station", src_sid, dst_sid)
                 continue
             pkt.hops += 1
             if pkt.dst == dst_sid:
@@ -491,28 +457,23 @@ class WRTRingNetwork:
             elif pkt.src == dst_sid:
                 # came full circle: destination left the ring
                 pkt.dropped = True
-                self.metrics.orphaned += 1
-                self._obs_orphaned.inc()
-                self.metrics.deadlines.observe_drop(pkt.deadline)
+                self._ev_orphaned(t, pkt, "full_circle")
             elif pkt.hops > n and pkt.dst not in self._pos:
                 # TTL: a full circuit without being stripped and the
                 # destination is gone — if the source were still a member the
                 # full-circle rule above would have reclaimed it, so it is
                 # orphaned and would otherwise circulate forever
                 pkt.dropped = True
-                self.metrics.orphaned += 1
-                self._obs_orphaned.inc()
-                self.metrics.deadlines.observe_drop(pkt.deadline)
-                self.trace.record(t, "ring.orphan_ttl", src=pkt.src,
-                                  dst=pkt.dst, hops=pkt.hops)
+                self._ev_orphaned(t, pkt, "ttl")
             else:
                 receiver.transit.append(pkt)
 
-        # slot-occupancy sampling for the timeline exporter: opt-in trace
-        # category, so steady-state runs pay one is_enabled lookup per tick
-        if self.trace.is_enabled("slot.occupancy"):
+        # slot-occupancy sampling for the timeline exporter: subscribed only
+        # while the opt-in trace category is enabled, so steady-state runs
+        # skip the O(n) busy count via the emitter's falsiness
+        if self._ev_occupancy:
             busy = sum(1 for p in outputs if p is not None)
-            self.trace.record(t, "slot.occupancy", busy=busy, capacity=n)
+            self._ev_occupancy(t, busy, n)
 
     def add_delivery_callback(self, sid: int,
                               callback: Callable[[Packet, float], None]) -> None:
@@ -523,10 +484,7 @@ class WRTRingNetwork:
     def _deliver(self, pkt: Packet, receiver: WRTRingStation, t: float) -> None:
         pkt.t_deliver = t
         receiver.on_deliver(pkt)
-        self.metrics.delivered[pkt.service] += 1
-        self._obs_delivered[pkt.service].inc()
-        self.metrics.e2e_delay[pkt.service].add(t - pkt.created)
-        self.metrics.deadlines.observe(t, pkt.deadline)
+        self._ev_deliver(t, receiver.sid, pkt)
         callback = self._delivery_callbacks.get(receiver.sid)
         if callback is not None:
             callback(pkt, t)
@@ -579,14 +537,13 @@ class WRTRingNetwork:
             self.recovery.start_graceful_cutout(failed=pred, originator=holder, t=t)
             return
 
-        self.trace.record(t, "sat.arrive", station=holder, kind=sat.kind)
+        self._ev_sat_arrive(t, holder, sat.kind)
         if not station.satisfied:
-            self._obs_sat_holds.inc()
+            self._ev_sat_hold(t, holder)
         rotation = station.on_sat_arrival(t)
         if rotation is not None:
             self.rotation_log.add(holder, rotation)
-            self._obs_rotation.observe(rotation)
-            self.trace.record(t, "sat.rotation", station=holder, rotation=rotation)
+            self._ev_sat_rotation(t, holder, rotation)
         if holder == self.order[0]:
             sat.rounds += 1
             self.rotation_log.mark_round(sat.hops)
@@ -607,9 +564,8 @@ class WRTRingNetwork:
         if self.config.enforce_radio_links and not self.reachable(holder, nxt):
             # the ring link broke under the SAT: the signal is lost in the
             # air and the Sec. 2.5 watchdogs will recover
-            self.trace.record(t, "sat.link_loss", src=holder, dst=nxt)
+            self._ev_sat_link_loss(t, holder, nxt)
             self.drop_sat()
             return
         sat.depart(nxt, t + self.config.sat_hop_slots)
-        self._obs_sat_releases.inc()
-        self.trace.record(t, "sat.release", station=holder, to=nxt)
+        self._ev_sat_release(t, holder, nxt)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.config import WRTRingConfig
 from repro.core.quotas import QuotaConfig
 from repro.core.ring import WRTRingNetwork
+from repro.events import EventBus
 from repro.phy.cdma import CodeSpace
 from repro.phy.channel import SlottedChannel
 from repro.phy.topology import ConnectivityGraph, TopologyError, construct_ring
@@ -93,14 +94,18 @@ def form_secondary_ring(engine: Engine,
                         channel: Optional[SlottedChannel] = None,
                         primary_codes: Optional[CodeSpace] = None,
                         config: Optional[WRTRingConfig] = None,
-                        trace: Optional[TraceRecorder] = None) -> WRTRingNetwork:
+                        trace: Optional[TraceRecorder] = None,
+                        events: Optional[EventBus] = None) -> WRTRingNetwork:
     """Build a second WRT-Ring over ``candidates``.
 
     Parameters mirror :class:`~repro.core.ring.WRTRingNetwork`, plus
     ``primary_codes``: the code space of the co-located primary ring; the
     secondary ring's codes are chosen disjoint from it, so the two rings'
     concurrent transmissions can never collide at any receiver — CDMA
-    isolation, which E18 verifies through a shared channel.
+    isolation, which E18 verifies through a shared channel.  By default the
+    secondary ring owns its own event bus (with its own trace adapter when
+    ``trace`` is shared, so both rings' records land in one stream exactly
+    as before); pass ``events`` to publish on a caller-managed bus instead.
 
     Raises :class:`SecondaryRingError` when fewer than two candidates are
     given or no feasible ring exists among them.
@@ -144,7 +149,8 @@ def form_secondary_ring(engine: Engine,
             config.quotas.setdefault(sid, quotas[sid])
 
     net = WRTRingNetwork(engine, order, config, graph=graph,
-                         channel=channel, codes=codes, trace=trace)
+                         channel=channel, codes=codes, trace=trace,
+                         events=events)
     return net
 
 

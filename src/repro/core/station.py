@@ -20,12 +20,18 @@ from typing import Deque, Dict, Optional
 
 from repro.core.packet import Packet, ServiceClass
 from repro.core.quotas import QuotaConfig
+from repro.events.bus import NULL_EMITTER
 
 __all__ = ["WRTRingStation"]
 
 
 class WRTRingStation:
     """Protocol state of one ring member."""
+
+    #: :class:`~repro.events.types.PacketEnqueued` emitter, pushed in by the
+    #: owning network's binder (class-level no-op so a standalone station —
+    #: unit tests, pre-insertion joiners — emits into the void)
+    _ev_enqueued = NULL_EMITTER
 
     def __init__(self, sid: int, quota: QuotaConfig):
         self.sid = sid
@@ -70,6 +76,7 @@ class WRTRingStation:
         queue = self._queue_for(packet.service)
         queue.append(packet)
         self.enqueued[packet.service] += 1
+        self._ev_enqueued(now, self.sid, packet)
 
     def _queue_for(self, service: ServiceClass) -> Deque[Packet]:
         if service is ServiceClass.PREMIUM:

@@ -1,0 +1,140 @@
+"""Compatibility adapter: renders bus events into legacy trace records.
+
+The checked-in fuzz corpus bundles (``tests/corpus/``) pin SHA-256 hashes
+over the exact trace-record stream, so this adapter must reproduce today's
+records **byte-identically**: same categories, same field names and
+values, same record order (emission is synchronous at the legacy trace
+points, and the adapter is the only writer of these categories).
+
+Most events map 1:1 — the trace category *is* the event category and the
+trace fields are a subset of the payload.  The exceptions encode what the
+legacy code traced selectively:
+
+* ``PacketLost`` is traced only for ``reason == "link"`` (as
+  ``ring.link_loss`` with the hop endpoints); dead-station, cut-out and
+  rebuild losses were never traced.
+* ``PacketOrphaned`` is traced only for ``reason == "ttl"`` (as
+  ``ring.orphan_ttl`` with the packet's src/dst/hops); full-circle
+  reclaims were never traced.
+* ``RapClose`` includes its ``duplicate`` field only when set.
+* ``SlotTransmit``/``SlotDeliver``/``SatHold``/``PacketEnqueued``/
+  ``RingTick``/``RecoveryEpisode``/``EngineRunWindow`` were never traced
+  at all (they feed metrics/oracles/profiling only).
+
+The two opt-in categories (``TraceRecorder.OPT_IN``) are subscribed only
+while enabled (see :meth:`TraceAdapter.refresh`): ``sat.arrive`` fires
+every SAT hop, so paying event construction just for the recorder to drop
+the record would tax steady-state runs; ``slot.occupancy`` additionally
+guards an O(n) busy count — the legacy emit site hid it behind
+``trace.is_enabled``, and the event site skips it entirely when its
+emitter is the falsy null.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.events import types as T
+from repro.events.types import ProtocolEvent
+
+__all__ = ["TraceAdapter", "traced_category"]
+
+#: events whose trace record is ``record(t, category, **payload-minus-t)``
+_DIRECT = (
+    T.SatRotation, T.SatRelease, T.SatLost, T.SatLinkLoss,
+    T.StationKilled, T.LeaveAnnounced, T.StationInserted, T.StationRemoved,
+    T.SatTimeout, T.GracefulCutout, T.SatRecFailed, T.SatRecovered,
+    T.RebuildStart, T.RebuildRetry, T.RebuildDone, T.RingDown,
+    T.RapOpen, T.RapRequest,
+    T.CsmaCollision,
+    T.TptKill, T.TptTokenLost, T.TptJoin, T.TptTimeout, T.TptTokenReissued,
+    T.TptProbeLost, T.TptRebuildStart, T.TptDown, T.TptRebuildDone,
+    T.TokenRotation, T.TptRap,
+)
+
+#: opt-in trace category -> event type (``TraceRecorder.OPT_IN``):
+#: subscribed only while the category is enabled on the recorder
+_OPT_IN = {
+    "sat.arrive": T.SatArrive,
+    "slot.occupancy": T.SlotOccupancy,
+}
+
+#: events the legacy code never traced
+_UNTRACED = (
+    T.EngineRunWindow, T.RingTick, T.PacketEnqueued, T.SlotTransmit,
+    T.SlotDeliver, T.SatHold, T.RecoveryEpisode,
+)
+
+
+def traced_category(etype: Type[ProtocolEvent]) -> Optional[str]:
+    """The trace category *etype* renders to, or None if never traced."""
+    if etype in _UNTRACED:
+        return None
+    if etype is T.PacketLost:
+        return "ring.link_loss (reason='link' only)"
+    if etype is T.PacketOrphaned:
+        return "ring.orphan_ttl (reason='ttl' only)"
+    if etype in _OPT_IN:
+        return f"{etype.category} (opt-in)"
+    return etype.category
+
+
+class TraceAdapter:
+    """Subscribes to a bus and writes the legacy trace-record stream."""
+
+    def __init__(self, trace) -> None:
+        self.trace = trace
+        self._opt_in_unsubs = {}
+
+    def attach(self, bus) -> "TraceAdapter":
+        for etype in _DIRECT:
+            bus.subscribe(etype, self._direct_handler(etype, self.trace))
+        bus.subscribe(T.PacketLost, self._on_packet_lost)
+        bus.subscribe(T.PacketOrphaned, self._on_packet_orphaned)
+        bus.subscribe(T.RapClose, self._on_rap_close)
+        self.refresh(bus)
+        return self
+
+    @staticmethod
+    def _direct_handler(etype, trace):
+        # hot path: the generated literal-dict ``trace_fields`` plus the
+        # dict-taking ``record_fields`` — no getattr loop, no kwargs repack
+        def handler(ev, _record=trace.record_fields, _category=etype.category):
+            _record(ev.t, _category, ev.trace_fields())
+
+        return handler
+
+    # -- selective renderings ------------------------------------------
+    def _on_packet_lost(self, ev) -> None:
+        if ev.reason == "link":
+            self.trace.record(ev.t, "ring.link_loss", src=ev.src, dst=ev.dst)
+
+    def _on_packet_orphaned(self, ev) -> None:
+        if ev.reason == "ttl":
+            pkt = ev.packet
+            self.trace.record(ev.t, "ring.orphan_ttl",
+                              src=pkt.src, dst=pkt.dst, hops=pkt.hops)
+
+    def _on_rap_close(self, ev) -> None:
+        if ev.duplicate is None:
+            self.trace.record(ev.t, "rap.close",
+                              ingress=ev.ingress, joined=ev.joined)
+        else:
+            self.trace.record(ev.t, "rap.close", ingress=ev.ingress,
+                              joined=ev.joined, duplicate=ev.duplicate)
+
+    # -- opt-in category toggling --------------------------------------
+    def refresh(self, bus) -> None:
+        """Align the opt-in subscriptions with the recorder's enable
+        switches; call after ``trace.enable``/``disable`` so the emit
+        sites pay nothing (null emitter; ``slot.occupancy``'s busy count
+        stays skipped) while a category is off."""
+        for category, etype in _OPT_IN.items():
+            enabled = self.trace.is_enabled(category)
+            unsub = self._opt_in_unsubs.get(category)
+            if enabled and unsub is None:
+                self._opt_in_unsubs[category] = bus.subscribe(
+                    etype, self._direct_handler(etype, self.trace))
+            elif not enabled and unsub is not None:
+                unsub()
+                self._opt_in_unsubs[category] = None

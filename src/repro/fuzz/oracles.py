@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
+from repro.events.types import PacketEnqueued, RingTick
+
 __all__ = ["FuzzFailure", "ClockProbe", "PacketLedger",
            "check_conservation", "check_no_undeliverable",
            "check_rotation_bound", "rotation_bound_applies"]
@@ -47,7 +49,8 @@ class FuzzFailure:
 class ClockProbe:
     """Watches simulated time for backwards movement and stranded events.
 
-    Attach ``on_tick`` as a network tick hook and call :meth:`checkpoint`
+    :meth:`attach` subscribes the probe to the network's per-tick
+    :class:`~repro.events.types.RingTick` event; call :meth:`checkpoint`
     after every ``engine.run(...)`` segment.  ``failures`` accumulates (and
     is capped — one broken clock produces thousands of identical findings).
     """
@@ -58,6 +61,13 @@ class ClockProbe:
         self.engine = engine
         self.high = engine.now
         self.failures: List[FuzzFailure] = []
+
+    def attach(self, bus) -> "ClockProbe":
+        bus.subscribe(RingTick, self._on_tick_event)
+        return self
+
+    def _on_tick_event(self, ev) -> None:
+        self.on_tick(ev.t)
 
     def _fail(self, message: str) -> None:
         if len(self.failures) < self.MAX_FAILURES:
@@ -85,33 +95,20 @@ class ClockProbe:
 class PacketLedger:
     """Ground-truth record of every packet accepted into any MAC queue.
 
-    Wraps ``enqueue`` of every station (and of stations inserted later via
-    ``net.insert_station``), so the oracles can account for each packet
-    individually instead of trusting the aggregate counters under test.
+    Subscribes to :class:`~repro.events.types.PacketEnqueued` on the
+    network's bus — the station emits it only after an enqueue succeeded,
+    and stations inserted mid-run get the same live emitter, so the ledger
+    sees every accepted packet (direct ``st.enqueue`` calls included)
+    without trusting the aggregate counters under test.
     """
 
     def __init__(self, net):
         self.net = net
         self.packets: List[Any] = []
-        for st in net.stations.values():
-            self._wrap(st)
-        orig_insert = net.insert_station
+        net.events.subscribe(PacketEnqueued, self._on_enqueued)
 
-        def insert_station(*args, **kwargs):
-            st = orig_insert(*args, **kwargs)
-            self._wrap(st)
-            return st
-
-        net.insert_station = insert_station
-
-    def _wrap(self, st) -> None:
-        orig = st.enqueue
-
-        def enqueue(pkt, now):
-            orig(pkt, now)
-            self.packets.append(pkt)
-
-        st.enqueue = enqueue
+    def _on_enqueued(self, ev) -> None:
+        self.packets.append(ev.packet)
 
     # ------------------------------------------------------------------
     def classify(self) -> Tuple[List[Any], List[Any], List[Any]]:

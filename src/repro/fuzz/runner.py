@@ -80,8 +80,7 @@ def run_case(case: FuzzCase) -> FuzzResult:
     built = build_scenario(scenario)
     engine, net = built.engine, built.network
 
-    probe = ClockProbe(engine)
-    net.add_tick_hook(probe.on_tick)
+    probe = ClockProbe(engine).attach(net.events)
     ledger = PacketLedger(net)
 
     failures: List[FuzzFailure] = []

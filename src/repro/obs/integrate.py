@@ -2,51 +2,132 @@
 
 The protocol layers accept observability objects but never construct them —
 a run is unobserved unless the caller (CLI, tests, campaign harness) opts
-in.  This module is that opt-in surface:
+in.  This module is that opt-in surface, and since the event-spine refactor
+it is purely a *subscriber* of the protocol's event bus: the core never
+imports ``repro.obs``.
 
-* :func:`attach_network_metrics` binds a :class:`~repro.obs.registry.MetricsRegistry`
-  to a :class:`~repro.core.ring.WRTRingNetwork` (delivery/loss counters,
-  SAT-rotation and recovery histograms — see ``WRTRingNetwork.bind_observability``)
-  and adds a periodic tick hook publishing per-station queue-depth gauges
-  (labeled series, one per station and class queue);
-* :func:`attach_run_profiling` points the engine at a
-  :class:`~repro.obs.profile.Profiler` so every ``Engine.run`` window lands
-  as a wall-clock span ("engine.run", with its executed-event count).
+* :func:`attach_network_metrics` subscribes a
+  :class:`~repro.obs.registry.MetricsRegistry` to a
+  :class:`~repro.core.ring.WRTRingNetwork`'s bus (delivery/loss counters,
+  SAT-rotation and recovery histograms) and samples per-station queue-depth
+  gauges on the per-tick event;
+* :func:`attach_run_profiling` subscribes a
+  :class:`~repro.obs.profile.Profiler` to the engine's bus so every
+  ``Engine.run`` window lands as a wall-clock span ("engine.run", with its
+  executed-event count).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-__all__ = ["attach_network_metrics", "attach_run_profiling"]
+from repro.events import types as _ev
+
+__all__ = ["attach_network_metrics", "attach_run_profiling",
+           "NetworkMetricsSubscriber"]
 
 
-def attach_network_metrics(net, registry, sample_every: int = 100) -> None:
-    """Bind ``registry`` to ``net`` and sample station state periodically.
+class NetworkMetricsSubscriber:
+    """Publishes a network's event streams into a metrics registry.
 
-    ``sample_every`` is the sampling period in slots for the per-station
-    gauges (queue depths, membership); the event-driven instruments
-    (deliveries, losses, rotations, recoveries) are exact regardless.
+    Counters: ``ring.delivered`` (labeled per service class), ``ring.lost``,
+    ``ring.orphaned``, ``ring.kills``, ``ring.inserts``, ``ring.removes``,
+    ``sat.releases``, ``sat.holds``, ``recovery.episodes``,
+    ``recovery.rebuilds``.  Histograms: ``sat.rotation_slots``,
+    ``recovery.delay_slots``.  Gauges (sampled every ``sample_every``
+    slots): ``ring.members`` and per-station/per-queue
+    ``station.queue_depth``.
     """
-    if sample_every < 1:
-        raise ValueError(f"sample_every must be >= 1, got {sample_every}")
-    net.bind_observability(registry)
-    if not registry.enabled:
-        return
-    members_gauge = registry.gauge("ring.members")
 
-    def sample(t: float) -> None:
-        if int(t) % sample_every:
+    def __init__(self, net, registry, sample_every: int = 100):
+        self.net = net
+        self.registry = registry
+        self.sample_every = sample_every
+        self._delivered = {}
+        self._lost = registry.counter("ring.lost")
+        self._orphaned = registry.counter("ring.orphaned")
+        self._rotation = registry.histogram("sat.rotation_slots")
+        self._sat_releases = registry.counter("sat.releases")
+        self._sat_holds = registry.counter("sat.holds")
+        self._kills = registry.counter("ring.kills")
+        self._inserts = registry.counter("ring.inserts")
+        self._removes = registry.counter("ring.removes")
+        self._recoveries = registry.counter("recovery.episodes")
+        self._rebuilds = registry.counter("recovery.rebuilds")
+        self._recovery_delay = registry.histogram("recovery.delay_slots")
+        self._members = registry.gauge("ring.members")
+
+    def attach(self, bus) -> "NetworkMetricsSubscriber":
+        sub = bus.subscribe
+        sub(_ev.SlotDeliver, self._on_deliver)
+        sub(_ev.PacketLost, lambda ev: self._lost.inc())
+        sub(_ev.PacketOrphaned, lambda ev: self._orphaned.inc())
+        sub(_ev.SatRotation, lambda ev: self._rotation.observe(ev.rotation))
+        sub(_ev.SatRelease, lambda ev: self._sat_releases.inc())
+        sub(_ev.SatHold, lambda ev: self._sat_holds.inc())
+        sub(_ev.StationKilled, lambda ev: self._kills.inc())
+        sub(_ev.StationInserted, lambda ev: self._inserts.inc())
+        sub(_ev.StationRemoved, lambda ev: self._removes.inc())
+        sub(_ev.RecoveryEpisode, self._on_episode)
+        sub(_ev.RebuildDone, lambda ev: self._rebuilds.inc())
+        sub(_ev.RingTick, self._on_tick)
+        return self
+
+    def _on_deliver(self, ev) -> None:
+        service = ev.packet.service
+        counter = self._delivered.get(service)
+        if counter is None:
+            counter = self._delivered[service] = self.registry.counter(
+                "ring.delivered", service=service.short)
+        counter.inc()
+
+    def _on_episode(self, ev) -> None:
+        self._recoveries.inc()
+        if ev.total_delay is not None:
+            self._recovery_delay.observe(ev.total_delay)
+
+    def _on_tick(self, ev) -> None:
+        if int(ev.t) % self.sample_every:
             return
-        members_gauge.set(net.n)
+        net = self.net
+        self._members.set(net.n)
+        registry = self.registry
         for sid in net.members:
             for queue, depth in net.stations[sid].queue_depths().items():
                 registry.gauge("station.queue_depth",
                                station=sid, queue=queue).set(depth)
 
-    net.add_tick_hook(sample)
+
+def attach_network_metrics(net, registry,
+                           sample_every: int = 100) -> Optional[NetworkMetricsSubscriber]:
+    """Subscribe ``registry`` to ``net.events``.
+
+    ``sample_every`` is the sampling period in slots for the per-station
+    gauges (queue depths, membership); the event-driven instruments
+    (deliveries, losses, rotations, recoveries) are exact regardless.
+    A disabled registry subscribes nothing — the network's emit sites keep
+    their no-op emitters, so an unobserved run pays nothing.
+    """
+    if sample_every < 1:
+        raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+    if not registry.enabled:
+        return None
+    return NetworkMetricsSubscriber(net, registry, sample_every).attach(net.events)
 
 
 def attach_run_profiling(engine, profiler: Optional[object]) -> None:
-    """Attach ``profiler`` to ``engine`` (``None`` detaches)."""
-    engine.profiler = profiler
+    """Subscribe ``profiler`` to ``engine.events`` (``None`` detaches)."""
+    unsub = getattr(engine, "_profiler_unsub", None)
+    if unsub is not None:
+        unsub()
+        engine._profiler_unsub = None
+    if profiler is None:
+        return
+
+    def on_run(ev) -> None:
+        profiler.record_span("engine.run", ev.wall_start, ev.wall_elapsed,
+                             events=ev.events, sim_from=ev.sim_from,
+                             sim_to=ev.t)
+
+    engine._profiler_unsub = engine.events.subscribe(
+        _ev.EngineRunWindow, on_run)

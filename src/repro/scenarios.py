@@ -312,8 +312,7 @@ def build_scenario(scenario: Scenario) -> ScenarioResult:
 
     checker = None
     if scenario.check_invariants:
-        checker = RingInvariantChecker(net, strict=True)
-        net.add_tick_hook(checker.on_tick)
+        checker = RingInvariantChecker(net, strict=True).attach(net.events)
 
     workload = _attach_traffic(scenario, net, streams)
     if scenario.faults is not None:

@@ -16,6 +16,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.events.bus import EventBus
+from repro.events.types import EngineRunWindow
+
 __all__ = ["Engine", "EventHandle", "SimulationError", "SchedulingError"]
 
 
@@ -89,11 +92,17 @@ class Engine:
         self._running: bool = False
         self._stopped: bool = False
         self.events_executed: int = 0
-        #: optional :class:`repro.obs.profile.Profiler`; when set, every
-        #: :meth:`run` window is recorded as an "engine.run" wall-clock span
-        #: (two clock reads per run() call — nothing per event, so the hot
-        #: loop is untouched and the disabled cost is one None check)
-        self.profiler = None
+        #: kernel-side event bus: subscribing
+        #: :class:`~repro.events.types.EngineRunWindow` (see
+        #: ``repro.obs.integrate.attach_run_profiling``) records every
+        #: :meth:`run` window — two clock reads per run() call, nothing per
+        #: event, so the hot loop is untouched and the unobserved cost is
+        #: one falsy-emitter check per run()
+        self.events = EventBus()
+        self.events.add_binder(self._bind_emitters)
+
+    def _bind_emitters(self) -> None:
+        self._ev_run = self.events.emitter(EngineRunWindow)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -160,8 +169,8 @@ class Engine:
         self._stopped = False
         executed = 0
         agenda = self._agenda
-        profiler = self.profiler
-        if profiler is not None:
+        emit_run = self._ev_run
+        if emit_run:
             import time as _time
             wall_start = _time.perf_counter()
             sim_start = self.now
@@ -182,11 +191,10 @@ class Engine:
                 handle.callback(*handle.args)
         finally:
             self._running = False
-            if profiler is not None:
-                profiler.record_span(
-                    "engine.run", wall_start,
-                    _time.perf_counter() - wall_start,
-                    events=executed, sim_from=sim_start, sim_to=self.now)
+            if emit_run:
+                emit_run(self.now, wall_start,
+                         _time.perf_counter() - wall_start,
+                         executed, sim_start)
         if until is not None and not self._stopped and self.now < until:
             nxt = self.peek()
             if nxt is None or nxt > until:

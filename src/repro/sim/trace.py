@@ -87,6 +87,13 @@ class TraceRecorder:
     # recording
     # ------------------------------------------------------------------
     def record(self, time: float, category: str, /, **fields: Any) -> None:
+        self.record_fields(time, category, fields)
+
+    def record_fields(self, time: float, category: str,
+                      fields: Dict[str, Any]) -> None:
+        """Like :meth:`record` but takes the field dict directly (the hot
+        path for the event-bus trace adapter — no kwargs repack).  The
+        recorder takes ownership of *fields*."""
         if not self.is_enabled(category):
             return
         event = TraceEvent(time, category, fields)
@@ -197,6 +204,10 @@ class NullTraceRecorder(TraceRecorder):
         super().__init__(enabled=False)
 
     def record(self, time: float, category: str, /, **fields: Any) -> None:  # noqa: D102
+        return None
+
+    def record_fields(self, time: float, category: str,
+                      fields: Dict[str, Any]) -> None:  # noqa: D102
         return None
 
     def is_enabled(self, category: str) -> bool:  # noqa: D102

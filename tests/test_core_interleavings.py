@@ -48,8 +48,7 @@ class TestFailureDuringRap:
         """The RAP owner dies mid-pause: the network must recover and the
         mutex must not stay stuck forever."""
         engine, net, _ = channel_ring()
-        checker = RingInvariantChecker(net, strict=True)
-        net.add_tick_hook(checker.on_tick)
+        checker = RingInvariantChecker(net, strict=True).attach(net.events)
         net.start()
 
         killed = {}
@@ -171,8 +170,7 @@ class TestJoinLeaveChurn:
         spots = {200: (base[0] + base[1]) / 2 * 1.02,
                  201: (base[4] + base[5]) / 2 * 1.02}
         engine, net, _ = channel_ring(n=8, extra=spots)
-        checker = RingInvariantChecker(net, strict=True)
-        net.add_tick_hook(checker.on_tick)
+        checker = RingInvariantChecker(net, strict=True).attach(net.events)
         reqs = [JoinRequester(net, sid, QuotaConfig.two_class(1, 1),
                               rng=random.Random(sid))
                 for sid in (200, 201)]

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.core import SAT, RotationLog
-from repro.core.ring import NetworkMetrics, RingSlot
+from repro.core.ring import NetworkMetrics
 from repro.core.config import WRTRingConfig
-from repro.core.packet import Packet, ServiceClass
+from repro.core.packet import ServiceClass
 
 
 class TestSAT:
@@ -86,14 +86,7 @@ class TestRotationLog:
         assert log.samples(0) == [5.0]
 
 
-class TestRingSlotAndMetrics:
-    def test_ring_slot(self):
-        slot = RingSlot()
-        assert not slot.busy
-        slot.packet = Packet(src=0, dst=1, service=ServiceClass.PREMIUM,
-                             created=0.0)
-        assert slot.busy
-
+class TestNetworkMetrics:
     def test_network_metrics_totals(self):
         m = NetworkMetrics()
         m.delivered[ServiceClass.PREMIUM] = 3

@@ -1,0 +1,254 @@
+"""The event spine: bus mechanics, trace-adapter parity, schema docs.
+
+The compatibility contract under test: the typed event layer plus the
+trace adapter must reproduce the pre-spine trace stream *byte for byte*,
+so the checked-in fuzz corpus bundles (whose ``trace_hash`` fields were
+recorded against the old inline ``trace.record`` calls) replay with
+identical hashes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import Packet, ServiceClass, WRTRingConfig, WRTRingNetwork
+from repro.events import (EVENT_TYPES, EventBus, NULL_EMITTER, TraceAdapter,
+                          render_markdown, schema, traced_category)
+from repro.events import types as ev
+from repro.events.types import ProtocolEvent
+from repro.fuzz import load_bundle, verify_bundle
+from repro.sim import Engine
+from repro.sim.trace import NullTraceRecorder, TraceRecorder
+
+CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.json"))
+EVENTS_DOC = Path(__file__).parent.parent / "docs" / "EVENTS.md"
+
+#: trace categories written directly by non-spine layers (the channel's
+#: physical-layer records are not protocol events)
+NON_SPINE_CATEGORIES = {"phy.collision"}
+
+
+def ring_net(n=6, trace=None, events=None, **cfg_kwargs):
+    engine = Engine()
+    cfg_kwargs.setdefault("rap_enabled", False)
+    cfg = WRTRingConfig.homogeneous(range(n), l=2, k=2, **cfg_kwargs)
+    return engine, WRTRingNetwork(engine, list(range(n)), cfg,
+                                  trace=trace, events=events)
+
+
+class TestEventBus:
+    def test_no_subscriber_emitter_is_null_and_falsy(self):
+        bus = EventBus()
+        emit = bus.emitter(ev.RingTick)
+        assert emit is NULL_EMITTER
+        assert not emit
+        assert emit(1.0) is None   # calling the null emitter is a no-op
+
+    def test_single_subscriber_receives_typed_event(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(ev.SatRelease, seen.append)
+        emit = bus.emitter(ev.SatRelease)
+        assert emit    # truthy: the emit site should construct the event
+        emit(5.0, 1, 2)
+        assert len(seen) == 1
+        e = seen[0]
+        assert isinstance(e, ev.SatRelease)
+        assert (e.t, e.station, e.to) == (5.0, 1, 2)
+        assert e.fields() == {"t": 5.0, "station": 1, "to": 2}
+
+    def test_fanout_preserves_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(ev.RingTick, lambda e: order.append("a"))
+        bus.subscribe(ev.RingTick, lambda e: order.append("b"))
+        bus.emitter(ev.RingTick)(0.0)
+        assert order == ["a", "b"]
+
+    def test_unsubscribe_restores_null_emitter(self):
+        bus = EventBus()
+        unsub = bus.subscribe(ev.RingTick, lambda e: None)
+        assert bus.subscriber_count(ev.RingTick) == 1
+        unsub()
+        assert bus.subscriber_count(ev.RingTick) == 0
+        assert bus.emitter(ev.RingTick) is NULL_EMITTER
+
+    def test_binder_called_immediately_and_on_every_change(self):
+        bus = EventBus()
+        calls = []
+        bus.add_binder(lambda: calls.append(len(calls)))
+        assert len(calls) == 1                      # immediate
+        unsub = bus.subscribe(ev.RingTick, lambda e: None)
+        assert len(calls) == 2                      # on subscribe
+        unsub()
+        assert len(calls) == 3                      # on unsubscribe
+
+    def test_subscribe_rejects_non_event_types(self):
+        bus = EventBus()
+        with pytest.raises(TypeError):
+            bus.subscribe(dict, lambda e: None)
+
+
+class TestTraceAdapter:
+    def _pkt(self, src=0, dst=1):
+        return Packet(src=src, dst=dst, service=ServiceClass.PREMIUM,
+                      created=0.0)
+
+    def attached(self):
+        trace = TraceRecorder()
+        bus = EventBus()
+        TraceAdapter(trace).attach(bus)
+        return trace, bus
+
+    def test_direct_event_renders_legacy_record(self):
+        trace, bus = self.attached()
+        bus.emitter(ev.SatRelease)(7.0, 3, 4)
+        assert len(trace) == 1
+        rec = trace.events[0]
+        assert (rec.time, rec.category) == (7.0, "sat.release")
+        assert rec.fields == {"station": 3, "to": 4}
+
+    def test_packet_lost_traced_only_for_link_reason(self):
+        trace, bus = self.attached()
+        emit = bus.emitter(ev.PacketLost)
+        emit(1.0, self._pkt(), "link", 0, 1)
+        emit(2.0, self._pkt(), "removed", 2, None)
+        emit(3.0, self._pkt(), "rebuild", 3, None)
+        assert [e.category for e in trace.events] == ["ring.link_loss"]
+        assert trace.events[0].fields == {"src": 0, "dst": 1}
+
+    def test_packet_orphaned_traced_only_for_ttl_reason(self):
+        trace, bus = self.attached()
+        pkt = self._pkt(src=2, dst=5)
+        pkt.hops = 9
+        emit = bus.emitter(ev.PacketOrphaned)
+        emit(1.0, pkt, "ttl")
+        emit(2.0, self._pkt(), "full_circle")
+        assert [e.category for e in trace.events] == ["ring.orphan_ttl"]
+        assert trace.events[0].fields == {"src": 2, "dst": 5, "hops": 9}
+
+    def test_rap_close_duplicate_field_elided_when_none(self):
+        trace, bus = self.attached()
+        emit = bus.emitter(ev.RapClose)
+        emit(1.0, 0, 7, None)
+        emit(2.0, 0, None, 7)
+        assert trace.events[0].fields == {"ingress": 0, "joined": 7}
+        assert trace.events[1].fields == {"ingress": 0, "joined": None,
+                                          "duplicate": 7}
+
+    def test_occupancy_subscription_follows_trace_enablement(self):
+        trace = TraceRecorder()       # slot.occupancy is opt-in: disabled
+        bus = EventBus()
+        adapter = TraceAdapter(trace).attach(bus)
+        assert bus.emitter(ev.SlotOccupancy) is NULL_EMITTER
+        trace.enable("slot.occupancy")
+        adapter.refresh(bus)
+        emit = bus.emitter(ev.SlotOccupancy)
+        assert emit
+        emit(4.0, 3, 8)
+        assert trace.count("slot.occupancy") == 1
+
+    def test_untraced_events_write_nothing(self):
+        trace, bus = self.attached()
+        bus.emitter(ev.RingTick)(1.0)
+        bus.emitter(ev.SlotTransmit)(1.0, 0, self._pkt())
+        bus.emitter(ev.SlotDeliver)(1.0, 1, self._pkt())
+        bus.emitter(ev.RecoveryEpisode)(1.0, "silent", "recovered", 2, 10.0)
+        assert len(trace) == 0
+
+
+class TestNetworkWiring:
+    def test_network_owns_bus_and_adapter_by_default(self):
+        _, net = ring_net(trace=TraceRecorder())
+        assert isinstance(net.events, EventBus)
+        assert net._trace_adapter is not None
+
+    def test_null_trace_skips_adapter(self):
+        _, net = ring_net()      # defaults to NullTraceRecorder
+        assert isinstance(net.trace, NullTraceRecorder)
+        assert net._trace_adapter is None
+
+    def test_external_bus_is_used_and_not_adapted(self):
+        bus = EventBus()
+        delivered = []
+        bus.subscribe(ev.SlotDeliver, delivered.append)
+        engine, net = ring_net(trace=TraceRecorder(), events=bus)
+        assert net.events is bus
+        # caller-owned bus: the caller decides what subscribes, the
+        # network must not silently attach its trace adapter
+        assert net._trace_adapter is None
+        net.enqueue(Packet(src=0, dst=1, service=ServiceClass.PREMIUM,
+                           created=0.0))
+        net.start()
+        engine.run(until=200)
+        assert len(delivered) >= 1
+        assert delivered[0].station == 1
+
+    def test_metrics_fed_solely_by_bus(self):
+        engine, net = ring_net()
+        for sid in range(3):
+            net.enqueue(Packet(src=sid, dst=(sid + 1) % 6,
+                               service=ServiceClass.PREMIUM, created=0.0))
+        net.start()
+        engine.run(until=300)
+        assert net.metrics.total_delivered == 3
+        assert net.metrics.transmitted[ServiceClass.PREMIUM] == 3
+        assert net.metrics.access_delay[ServiceClass.PREMIUM].count == 3
+
+
+class TestCorpusParity:
+    """The satellite acceptance test: every checked-in repro bundle —
+    recorded before the event spine existed — must replay through the
+    adapter to a byte-identical trace hash."""
+
+    def test_corpus_present(self):
+        assert len(CORPUS) >= 4
+
+    @pytest.mark.parametrize("path", CORPUS, ids=[p.stem for p in CORPUS])
+    def test_bundle_trace_hash_byte_identical(self, path):
+        expected = load_bundle(path)["result"]["trace_hash"]
+        ok, result, mismatches = verify_bundle(path)
+        assert ok, mismatches
+        assert mismatches == []
+        assert result.trace_hash == expected
+
+
+class TestSchemaAndDocs:
+    def test_categories_are_unique_and_dotted(self):
+        cats = [cls.category for cls in EVENT_TYPES]
+        assert len(cats) == len(set(cats))
+        assert all("." in c for c in cats)
+
+    def test_every_event_is_timestamped_first(self):
+        for cls in EVENT_TYPES:
+            assert cls.payload[0] == "t", cls.__name__
+
+    def test_events_doc_contains_generated_schema(self):
+        """docs/EVENTS.md embeds ``render_markdown()`` verbatim — regenerate
+        the doc when event types change (see the doc's header)."""
+        assert render_markdown() in EVENTS_DOC.read_text()
+
+    def test_schema_trace_column_matches_adapter(self):
+        for rec, cls in zip(schema(), EVENT_TYPES):
+            assert rec["trace"] == traced_category(cls)
+
+    @pytest.mark.parametrize("path", CORPUS, ids=[p.stem for p in CORPUS])
+    def test_replayed_trace_categories_covered_by_schema(self, path):
+        """Every category a real run records is either declared by an event
+        type's trace mapping or written by a non-spine layer."""
+        traced = set()
+        for cls in EVENT_TYPES:
+            cat = traced_category(cls)
+            if cat is not None:
+                traced.add(cat.split(" ")[0])
+        _, result, _ = verify_bundle(path)
+        emitted = {e.category for e in result.built.trace.events}
+        assert emitted - traced - NON_SPINE_CATEGORIES == set()
+
+    def test_event_classes_are_slotted(self):
+        for cls in EVENT_TYPES:
+            e = cls(*range(len(cls.payload)))
+            with pytest.raises(AttributeError):
+                e.not_a_field = 1
+            assert issubclass(cls, ProtocolEvent)

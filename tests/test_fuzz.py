@@ -39,8 +39,7 @@ def checked_net(n=8, l=2, k=2):
     engine = Engine()
     cfg = WRTRingConfig.homogeneous(range(n), l=l, k=k, rap_enabled=False)
     net = WRTRingNetwork(engine, list(range(n)), cfg)
-    checker = RingInvariantChecker(net, strict=True)
-    net.add_tick_hook(checker.on_tick)
+    checker = RingInvariantChecker(net, strict=True).attach(net.events)
     return engine, net, checker
 
 

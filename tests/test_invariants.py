@@ -14,8 +14,7 @@ def checked_net(n=6, l=2, k=2, strict=True):
     engine = Engine()
     cfg = WRTRingConfig.homogeneous(range(n), l=l, k=k, rap_enabled=False)
     net = WRTRingNetwork(engine, list(range(n)), cfg)
-    checker = RingInvariantChecker(net, strict=strict)
-    net.add_tick_hook(checker.on_tick)
+    checker = RingInvariantChecker(net, strict=strict).attach(net.events)
     return engine, net, checker
 
 
@@ -127,8 +126,7 @@ class TestFuzzSoak:
         engine = Engine()
         cfg = WRTRingConfig.homogeneous(range(n), l=2, k=1, rap_enabled=False)
         net = WRTRingNetwork(engine, list(range(n)), cfg)
-        checker = RingInvariantChecker(net, strict=True)
-        net.add_tick_hook(checker.on_tick)
+        checker = RingInvariantChecker(net, strict=True).attach(net.events)
 
         def traffic(t):
             for sid in net.members:

@@ -166,7 +166,7 @@ class TestExportTimeline:
             n=6, horizon=2000.0, seed=3, rap_enabled=True,
             traffic=TrafficMix(kind="poisson", rate=0.05),
             faults=schedule))
-        enable_timeline_categories(built.trace)
+        enable_timeline_categories(built.trace, built.network)
         built.engine.run(until=2000.0)
 
         path = tmp_path / "run.json"
