@@ -66,6 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma list of station:time silent deaths")
     sim.add_argument("--leave", type=str, default="",
                      help="comma list of station:time announced departures")
+    sim.add_argument("--loss-prob", type=float, default=0.0,
+                     help="independent per-hop frame-loss probability "
+                          "(stochastic channel impairments; seeded)")
+    sim.add_argument("--ge", type=str, default=None, metavar="P_GB:P_BG[:LOSS_BAD]",
+                     help="Gilbert-Elliott bursty-loss process: good->bad "
+                          "and bad->good transition probabilities, optional "
+                          "loss probability in the bad state (default 1.0)")
+    sim.add_argument("--noise-burst", action="append", default=[],
+                     metavar="START:END[:CODE]",
+                     help="deterministic noise window killing every frame "
+                          "in [START, END) (optionally only on CODE); "
+                          "repeatable")
     sim.add_argument("--check-invariants", action="store_true")
     sim.add_argument("--timeline", type=str, default=None, metavar="OUT.json",
                      help="export a Chrome-trace/Perfetto timeline of the "
@@ -129,6 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--shrink", action=argparse.BooleanOptionalAction,
                     default=True,
                     help="delta-shrink failures to minimal reproducers")
+    fz.add_argument("--chaos", action="store_true",
+                    help="force channel impairments into every generated "
+                         "case (soak mode)")
     fz.add_argument("--out", type=str, default=".fuzz",
                     help="directory for repro bundles and the result store")
     fz.add_argument("--store", type=str, default=None,
@@ -201,6 +216,39 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+def _parse_impairments(args: argparse.Namespace):
+    """Build an ImpairmentSpec from the simulate flags (None when clean)."""
+    if args.loss_prob <= 0.0 and args.ge is None and not args.noise_burst:
+        return None
+    from repro.phy.impairments import ImpairmentSpec, NoiseBurst
+
+    kwargs: dict = {"loss_prob": args.loss_prob}
+    if args.ge is not None:
+        parts = args.ge.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(f"bad --ge entry {args.ge!r}; "
+                             f"expected P_GB:P_BG[:LOSS_BAD]")
+        kwargs["ge_p_gb"] = float(parts[0])
+        kwargs["ge_p_bg"] = float(parts[1])
+        if len(parts) == 3:
+            kwargs["ge_loss_bad"] = float(parts[2])
+    bursts = []
+    for entry in args.noise_burst:
+        parts = entry.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(f"bad --noise-burst entry {entry!r}; "
+                             f"expected START:END[:CODE]")
+        bursts.append(NoiseBurst(
+            start=float(parts[0]), end=float(parts[1]),
+            code=int(parts[2]) if len(parts) == 3 else None))
+    if bursts:
+        kwargs["bursts"] = tuple(bursts)
+    try:
+        return ImpairmentSpec(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"bad impairment flags: {exc}")
+
+
 def _parse_station_times(text: str) -> List[tuple]:
     out = []
     if not text:
@@ -238,10 +286,10 @@ def _run_observed(scenario, timeline: Optional[str],
     built = build_scenario(scenario)
     profiler = Profiler()
     attach_run_profiling(built.engine, profiler)
-    registry = None
+    registry = subscriber = None
     if metrics:
         registry = MetricsRegistry()
-        attach_network_metrics(built.network, registry)
+        subscriber = attach_network_metrics(built.network, registry)
     if timeline:
         enable_timeline_categories(built.trace, built.network)
 
@@ -252,6 +300,8 @@ def _run_observed(scenario, timeline: Optional[str],
     payload["elapsed_s"] = round(run_report.get("total_s", 0.0), 6)
     payload["events_per_s"] = round(run_report.get("events_per_s", 0.0), 1)
     if registry is not None:
+        if subscriber is not None:
+            subscriber.flush()
         payload["metrics"] = registry.snapshot()
     if timeline:
         count = export_timeline(timeline, built.trace, profiler,
@@ -294,6 +344,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         mobility=(MobilitySpec(wander_radius=args.wander)
                   if args.wander > 0 else None),
         faults=schedule if schedule.events else None,
+        impairments=_parse_impairments(args),
         check_invariants=args.check_invariants,
         horizon=args.horizon, seed=args.seed)
     payload = _run_observed(scenario, args.timeline, args.metrics)
@@ -412,7 +463,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
               file=sys.stderr)
     campaign = run_fuzz_campaign(args.seed, args.runs, store, args.out,
                                  max_slots=args.max_slots,
-                                 shrink=args.shrink, progress=progress)
+                                 shrink=args.shrink, chaos=args.chaos,
+                                 progress=progress)
     if args.json:
         print(json.dumps(campaign.records, indent=2, default=str))
     else:

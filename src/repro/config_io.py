@@ -16,6 +16,7 @@ from repro.core.packet import ServiceClass
 from repro.core.quotas import QuotaConfig
 from repro.faults import FaultEvent, FaultSchedule
 from repro.phy.geometry import Arena
+from repro.phy.impairments import ImpairmentSpec
 from repro.scenarios import MobilitySpec, Scenario, TrafficMix
 
 __all__ = ["scenario_to_dict", "scenario_from_dict",
@@ -79,6 +80,8 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
             {"time": e.time, "kind": e.kind, "station": e.station,
              **({"params": e.params} if e.params else {})}
             for e in scenario.faults.events]
+    if scenario.impairments is not None:
+        out["impairments"] = scenario.impairments.to_dict()
     return out
 
 
@@ -117,11 +120,14 @@ def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
                                      params=entry.get("params", {})))
         kwargs["faults"] = FaultSchedule(events)
 
+    if "impairments" in data and data["impairments"] is not None:
+        kwargs["impairments"] = ImpairmentSpec.from_dict(data["impairments"])
+
     unknown = set(data) - {"n", "placement", "radius", "range_margin",
                            "arena", "l", "k", "rap_enabled", "t_ear",
                            "t_update", "use_channel", "validate_phy",
                            "check_invariants", "horizon", "seed", "traffic",
-                           "quotas", "mobility", "faults"}
+                           "quotas", "mobility", "faults", "impairments"}
     if unknown:
         raise ValueError(f"unknown scenario keys: {sorted(unknown)}")
     return Scenario(**kwargs)

@@ -91,6 +91,7 @@ class JoinOutcome(Enum):
     ACCEPTED = "accepted"
     JOINED = "joined"
     REJECTED = "rejected"
+    GAVE_UP = "gave_up"   # capped retries exhausted (lossy channel)
 
 
 # ----------------------------------------------------------------------
@@ -244,7 +245,9 @@ class JoinRequester:
                  code_new: Optional[int] = None,
                  deadline_req: Optional[float] = None,
                  max_backlog: int = 0,
-                 rng=None):
+                 rng=None,
+                 max_attempts: Optional[int] = None,
+                 retry_jitter: int = 0):
         if net.channel is None:
             raise ValueError("joining requires a PHY channel on the network")
         if new_sid in net._pos:
@@ -256,6 +259,14 @@ class JoinRequester:
         self.deadline_req = deadline_req
         self.max_backlog = max_backlog
         self.rng = rng
+        #: None = retry across RAP rounds forever (the paper's behaviour on
+        #: a clean channel); an int caps the attempts before GAVE_UP
+        self.max_attempts = max_attempts
+        #: after a failed attempt, skip a random 0..retry_jitter NEXT_FREE
+        #: opportunities — decorrelates requesters whose JOIN_REQs keep
+        #: colliding or fading on a lossy channel (needs ``rng``)
+        self.retry_jitter = retry_jitter
+        self._skip_next = 0
 
         self.state = JoinOutcome.LISTENING
         self.heard: Dict[int, NextFree] = {}
@@ -308,6 +319,10 @@ class JoinRequester:
         # hearing is symmetric in the unit-disk model, so both are reachable
         if nf.next_station not in self.heard:
             return
+        if self._skip_next > 0:
+            # randomized retry backoff: sit this RAP out
+            self._skip_next -= 1
+            return
         self.candidate = nf.sender
         self._send_request(nf, t)
 
@@ -347,7 +362,20 @@ class JoinRequester:
 
     # ------------------------------------------------------------------
     def _on_tick(self, t: float) -> None:
-        if self.state is JoinOutcome.JOINED:
+        if self.state in (JoinOutcome.JOINED, JoinOutcome.GAVE_UP):
+            return
+        if self.sid in self.net._pos:
+            # we are a ring member — even if both the ACK and the
+            # update-phase broadcast were lost to collisions or fading,
+            # membership itself is the confirmation (we start hearing the
+            # dataplane); without this check a lossy channel strands an
+            # inserted station in REQUEST_SENT forever
+            self._stop_awaiting()
+            self._tx_at = None
+            self._tx_frame = None
+            self.state = JoinOutcome.JOINED
+            self.t_joined = t
+            self.joined.succeed(t)
             return
         if self._tx_at is not None and t >= self._tx_at:
             self.net.channel.transmit(self._tx_frame)
@@ -359,11 +387,13 @@ class JoinRequester:
                 and t > self._ack_deadline):
             # Sec. 2.4.1: no reply within T_ear -> wait for next NEXT_FREE
             self._stop_awaiting()
+            if (self.max_attempts is not None
+                    and self.attempts >= self.max_attempts):
+                self.state = JoinOutcome.GAVE_UP
+                return
+            if self.rng is not None and self.retry_jitter > 0:
+                self._skip_next = self.rng.randint(0, self.retry_jitter)
             self.state = JoinOutcome.LISTENING
-        if self.state is JoinOutcome.ACCEPTED and self.sid in self.net._pos:
-            self.state = JoinOutcome.JOINED
-            self.t_joined = t
-            self.joined.succeed(t)
 
     # ------------------------------------------------------------------
     @property

@@ -151,6 +151,13 @@ class RecoveryManager:
             timer.stop()
 
     def note_sat_loss(self, t: float) -> None:
+        if self.active is not None:
+            # the signal died during an episode already in progress (e.g.
+            # the SAT_REC itself was lost): attribute the loss to the
+            # running record instead of queueing a phantom trigger that
+            # would mis-date the *next* episode
+            self.active.extra.setdefault("extra_losses", []).append(t)
+            return
         if self._pending_event is None:
             self._pending_event = ("sat_loss", None, t)
 
@@ -235,6 +242,19 @@ class RecoveryManager:
             sat.at_station = None
             self._ev_rec_failed(t, holder, nxt)
             return
+        imp = net.impairments
+        if imp is not None:
+            reason = imp.loss(t, holder, nxt, code=net.codes.code_of(nxt),
+                              kind="sat")
+            if reason is not None:
+                # the SAT_REC frame faded on this hop; the originator's
+                # watchdog will escalate to a full re-formation
+                net._sat_lost = True
+                sat.at_station = None
+                net._ev_sat_hop_lost(t, holder, nxt, sat.kind, reason)
+                self.note_sat_loss(t)
+                return
+        sat.seq = net.next_sat_seq()
         sat.depart(nxt, t + net.config.sat_hop_slots)
 
     def on_sat_rec_arrival(self, holder: int, t: float) -> None:
@@ -278,10 +298,15 @@ class RecoveryManager:
     def start_rebuild(self, initiator: int, t: float) -> None:
         net = self.net
         if self.active is None:
-            # direct entry (e.g. unrecoverable geometry detected later)
-            self.active = RecoveryRecord(kind="sat_loss", failed_station=None,
-                                         t_event=None, t_detected=t,
-                                         extra={"originator": initiator})
+            # direct entry (e.g. unrecoverable geometry detected later);
+            # consume any pending injection note so the episode is dated
+            # from the real trigger and cannot leak into a later record
+            kind, event_sid, t_event = self._pending_event or ("sat_loss", None, None)
+            self._pending_event = None
+            self.active = RecoveryRecord(kind=kind, failed_station=None,
+                                         t_event=t_event, t_detected=t,
+                                         extra={"originator": initiator,
+                                                "injected_station": event_sid})
             self.records.append(self.active)
         self.active.extra["rebuild_started"] = t
         net._sat_lost = True

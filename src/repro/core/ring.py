@@ -91,6 +91,11 @@ class WRTRingNetwork:
         the network owns a fresh bus.  A caller providing a shared bus is
         responsible for any trace adapter on it (the network only attaches
         one to a bus it owns, so a shared trace never records twice).
+    impairments:
+        Optional :class:`~repro.phy.impairments.ChannelImpairments` loss
+        oracle.  When given, ring dataplane hops and SAT/SAT_REC hand-offs
+        may be destroyed stochastically, and the oracle is installed on the
+        channel (if any) so control-handshake frames fade too.
     """
 
     def __init__(self, engine: Engine, ring_order: List[int],
@@ -99,7 +104,8 @@ class WRTRingNetwork:
                  channel: Optional[SlottedChannel] = None,
                  codes: Optional[CodeSpace] = None,
                  trace: Optional[TraceRecorder] = None,
-                 events: Optional[EventBus] = None):
+                 events: Optional[EventBus] = None,
+                 impairments=None):
         if len(ring_order) < 2:
             raise ValueError("a ring needs at least 2 stations")
         if len(set(ring_order)) != len(ring_order):
@@ -124,7 +130,16 @@ class WRTRingNetwork:
         self.sat = SAT()
         self._sat_lost = False
         self._sat_bound_cache = None
+        self._sat_seq = 0
         self.rotation_log = RotationLog()
+
+        #: optional :class:`~repro.phy.impairments.ChannelImpairments` —
+        #: consulted for dataplane hops and SAT/SAT_REC hand-offs, and
+        #: installed on the channel so control frames share the loss oracle
+        self.impairments = impairments
+        if channel is not None and impairments is not None:
+            channel.impairments = impairments
+            channel.drop_hook = self._on_frame_dropped
 
         self.pause_until: float = float("-inf")   # RAP pause window end
         self.rebuilding_until: Optional[float] = None
@@ -222,6 +237,9 @@ class WRTRingNetwork:
         self._ev_sat_release = em(_ev.SatRelease)
         self._ev_sat_lost = em(_ev.SatLost)
         self._ev_sat_link_loss = em(_ev.SatLinkLoss)
+        self._ev_frame_dropped = em(_ev.FrameDropped)
+        self._ev_sat_hop_lost = em(_ev.SatHopLost)
+        self._ev_sat_stale = em(_ev.SatStaleDiscarded)
         self._ev_kill = em(_ev.StationKilled)
         self._ev_leave = em(_ev.LeaveAnnounced)
         self._ev_insert = em(_ev.StationInserted)
@@ -303,6 +321,38 @@ class WRTRingNetwork:
         self.sat.arrival_time = None
         self.recovery.note_sat_loss(self.engine.now)
         self._ev_sat_lost(self.engine.now)
+
+    def inject_stale_sat(self, at_station: Optional[int] = None,
+                         seq: Optional[int] = None) -> bool:
+        """Chaos surface: a duplicated/stale control signal appears at a
+        station.
+
+        By default the duplicate carries the sequence number of the last
+        signal the station accepted (a verbatim replay); the hardened
+        station detects it via the monotone rotation sequence number and
+        discards it — no quotas are renewed — and this returns True.
+
+        Passing a forged ``seq`` newer than anything the station has seen
+        defeats the guard: the station renews its quotas as if it had
+        released a real SAT (a double grant), and the next *real* signal
+        arriving there will itself be flagged stale, driving the Sec. 2.5
+        recovery machinery.  Returns False in that case.
+        """
+        if self.network_down or self.rebuilding_until is not None:
+            raise RuntimeError(
+                "no control signal to duplicate while the ring is down or rebuilding")
+        if at_station is None:
+            at_station = self.order[0]
+        if at_station not in self._pos:
+            raise KeyError(f"station {at_station} is not a ring member")
+        st = self.stations[at_station]
+        t = self.engine.now
+        if seq is None:
+            seq = st.last_sat_seq
+        if not self._sat_seq_fresh(at_station, seq, t):
+            return True
+        st.on_sat_release(t)
+        return False
 
     # ------------------------------------------------------------------
     # membership mutation (used by join/recovery managers)
@@ -429,6 +479,7 @@ class WRTRingNetwork:
 
         validate = self.config.validate_phy and self.channel is not None
         enforce = self.config.enforce_radio_links and self._graph_provider is not None
+        imp = self.impairments
 
         # phase B: simultaneous one-hop advance
         for idx in range(n):
@@ -446,6 +497,15 @@ class WRTRingNetwork:
                 pkt.dropped = True
                 self._ev_lost(t, pkt, "link", src_sid, dst_sid)
                 continue
+            if imp is not None:
+                reason = imp.loss(t, src_sid, dst_sid,
+                                  code=self.codes.code_of(dst_sid))
+                if reason is not None:
+                    # the frame faded on the hop; no MAC-level retransmit
+                    # in the paper's model, so the packet is gone
+                    pkt.dropped = True
+                    self._ev_lost(t, pkt, reason, src_sid, dst_sid)
+                    continue
             receiver = stations[dst_sid]
             if not receiver.alive:
                 pkt.dropped = True
@@ -490,6 +550,29 @@ class WRTRingNetwork:
             callback(pkt, t)
 
     # ------------------------------------------------------------------
+    # impairment plumbing
+    # ------------------------------------------------------------------
+    def _on_frame_dropped(self, t: float, frame: Frame, receiver: int,
+                          reason: str) -> None:
+        """Channel drop hook: publish the loss of a control/data frame."""
+        self._ev_frame_dropped(t, frame.src, receiver, frame.code,
+                               frame.kind, reason)
+
+    def next_sat_seq(self) -> int:
+        """Monotone rotation sequence number, stamped on every hand-off."""
+        self._sat_seq += 1
+        return self._sat_seq
+
+    def _sat_seq_fresh(self, holder: int, seq: int, t: float) -> bool:
+        """Accept ``seq`` at ``holder`` iff newer than its last accepted one."""
+        st = self.stations[holder]
+        if seq <= st.last_sat_seq:
+            self._ev_sat_stale(t, holder, seq)
+            return False
+        st.last_sat_seq = seq
+        return True
+
+    # ------------------------------------------------------------------
     # SAT circulation
     # ------------------------------------------------------------------
     def _sat_step(self, t: float) -> None:
@@ -522,6 +605,14 @@ class WRTRingNetwork:
     def _on_sat_arrival(self, holder: int, t: float) -> None:
         sat = self.sat
         station = self.stations[holder]
+
+        if not self._sat_seq_fresh(holder, sat.seq, t):
+            # the receiver discarded a stale/duplicate signal (a forged
+            # duplicate bumped its sequence horizon past the real one):
+            # from the ring's perspective the control signal is gone and
+            # the Sec. 2.5 watchdogs take over
+            self.drop_sat()
+            return
 
         if sat.kind == SAT.RECOVERY:
             self.recovery.on_sat_rec_arrival(holder, t)
@@ -567,5 +658,16 @@ class WRTRingNetwork:
             self._ev_sat_link_loss(t, holder, nxt)
             self.drop_sat()
             return
+        imp = self.impairments
+        if imp is not None:
+            reason = imp.loss(t, holder, nxt, code=self.codes.code_of(nxt),
+                              kind="sat")
+            if reason is not None:
+                # the control frame died in the air: same consequence as a
+                # broken link — the Sec. 2.5 watchdogs recover
+                self._ev_sat_hop_lost(t, holder, nxt, sat.kind, reason)
+                self.drop_sat()
+                return
+        sat.seq = self.next_sat_seq()
         sat.depart(nxt, t + self.config.sat_hop_slots)
         self._ev_sat_release(t, holder, nxt)

@@ -38,6 +38,11 @@ class SAT:
         self.arrival_time: Optional[float] = None
         self.hops: int = 0                         # lifetime link crossings
         self.rounds: int = 0
+        #: rotation sequence number, stamped from the network's monotone
+        #: counter on every hand-off; receivers discard a signal whose seq
+        #: is not newer than the last one they accepted (stale/duplicate
+        #: control-signal suppression — see docs/RESILIENCE.md)
+        self.seq: int = 0
 
     # ------------------------------------------------------------------
     @property

@@ -58,6 +58,10 @@ class WRTRingStation:
         self.sat_holds = 0          # visits where the SAT had to be seized
         self.last_sat_arrival: Optional[float] = None
         self.last_sat_departure: Optional[float] = None
+        #: highest control-signal sequence number this station has accepted;
+        #: a signal arriving with seq <= this is a duplicate/stale replay
+        #: and is discarded instead of renewing quotas
+        self.last_sat_seq = -1
         # dynamic state
         self.alive = True
         self.leaving = False

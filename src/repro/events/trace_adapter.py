@@ -46,6 +46,7 @@ _DIRECT = (
     T.SatTimeout, T.GracefulCutout, T.SatRecFailed, T.SatRecovered,
     T.RebuildStart, T.RebuildRetry, T.RebuildDone, T.RingDown,
     T.RapOpen, T.RapRequest,
+    T.FrameDropped, T.SatHopLost, T.SatStaleDiscarded,
     T.CsmaCollision,
     T.TptKill, T.TptTokenLost, T.TptJoin, T.TptTimeout, T.TptTokenReissued,
     T.TptProbeLost, T.TptRebuildStart, T.TptDown, T.TptRebuildDone,
@@ -62,7 +63,7 @@ _OPT_IN = {
 #: events the legacy code never traced
 _UNTRACED = (
     T.EngineRunWindow, T.RingTick, T.PacketEnqueued, T.SlotTransmit,
-    T.SlotDeliver, T.SatHold, T.RecoveryEpisode,
+    T.SlotDeliver, T.SatHold, T.RecoveryEpisode, T.FaultSkipped,
 )
 
 

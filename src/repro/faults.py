@@ -14,7 +14,7 @@ from typing import Any, List, Optional
 
 __all__ = ["FaultEvent", "FaultSchedule"]
 
-_KINDS = ("kill", "leave", "drop_signal", "join")
+_KINDS = ("kill", "leave", "drop_signal", "join", "stale_sat")
 
 
 @dataclass(frozen=True)
@@ -28,7 +28,10 @@ class FaultEvent:
     - ``"drop_signal"`` — lose the SAT/token in flight;
     - ``"join"``        — a new ``station`` requests to join (``params`` are
       forwarded to :class:`~repro.core.join.JoinRequester` for WRT-Ring or
-      ``request_join`` for TPT).
+      ``request_join`` for TPT);
+    - ``"stale_sat"``   — a duplicated/stale control signal appears at
+      ``station`` (default: the first ring member); ``params`` may carry a
+      forged ``seq`` (WRT-Ring only, see ``inject_stale_sat``).
     """
 
     time: float
@@ -80,10 +83,19 @@ class FaultSchedule:
                     net.drop_token()
             elif event.kind == "join":
                 self._apply_join(net, event)
+            elif event.kind == "stale_sat":
+                if not hasattr(net, "inject_stale_sat"):
+                    raise ValueError(
+                        "stale_sat faults require a WRT-Ring network")
+                net.inject_stale_sat(event.station,
+                                     seq=event.params.get("seq"))
         except (KeyError, RuntimeError, ValueError) as exc:
             # e.g. the station already left via an earlier fault: log, don't
             # kill the simulation — schedules run against evolving networks
             self.skipped.append((event, str(exc)))
+            from repro.events import types as _ev
+            net.events.emitter(_ev.FaultSkipped)(
+                net.engine.now, event.kind, event.station, str(exc))
             return
         self.applied.append(event)
 
@@ -122,6 +134,12 @@ class _ScheduleBuilder:
     def join(self, station: int, at: float, **params) -> "_ScheduleBuilder":
         self._events.append(FaultEvent(time=at, kind="join", station=station,
                                        params=params))
+        return self
+
+    def stale_sat(self, at: float, station: Optional[int] = None,
+                  **params) -> "_ScheduleBuilder":
+        self._events.append(FaultEvent(time=at, kind="stale_sat",
+                                       station=station, params=params))
         return self
 
     def build(self) -> FaultSchedule:

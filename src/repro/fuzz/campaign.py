@@ -60,12 +60,14 @@ def run_fuzz_campaign(master_seed: int, runs: int,
                       out_dir,
                       max_slots: int = 1200,
                       shrink: bool = True,
+                      chaos: bool = False,
                       progress: Optional[Progress] = None) -> FuzzCampaignResult:
     """Run ``runs`` fuzz cases derived from ``master_seed``.
 
     Completed cases already present in ``store`` are skipped (their recorded
     verdict is reused); every fresh failure is shrunk (when ``shrink``) and
-    written as a repro bundle under ``out_dir``.
+    written as a repro bundle under ``out_dir``.  ``chaos`` forces channel
+    impairments into every generated case (soak mode).
     """
     import time
 
@@ -75,7 +77,8 @@ def run_fuzz_campaign(master_seed: int, runs: int,
     campaign_start = time.perf_counter()
 
     for index in range(runs):
-        case = generate_case(master_seed, index, max_slots=max_slots)
+        case = generate_case(master_seed, index, max_slots=max_slots,
+                             chaos=chaos)
         key = _case_key(case)
         cached = store.get(key)
         if cached is not None:

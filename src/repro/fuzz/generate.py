@@ -25,7 +25,7 @@ from repro.sim.rng import RandomStreams
 __all__ = ["FuzzCase", "generate_case"]
 
 #: bump when the generated-case shape changes incompatibly
-CASE_SCHEMA = 1
+CASE_SCHEMA = 2
 
 #: traffic kinds with generation weights; "saturate" and "backlog" keep the
 #: queues full (bound-stressing), "none" leaves the control plane alone
@@ -60,10 +60,13 @@ class FuzzCase:
 
 # ----------------------------------------------------------------------
 def generate_case(master_seed: int, index: int,
-                  max_slots: int = 1200) -> FuzzCase:
+                  max_slots: int = 1200, chaos: bool = False) -> FuzzCase:
     """Generate case ``index`` of the campaign seeded by ``master_seed``.
 
     ``max_slots`` caps the simulated horizon (and thus the per-case cost).
+    ``chaos`` forces channel impairments on every case (they are otherwise
+    drawn ~35% of the time), for soak runs that must exercise recovery
+    continuously.
     """
     case_seed = RandomStreams(master_seed).derive(f"fuzz.{index}")
     rng = random.Random(case_seed)
@@ -104,6 +107,12 @@ def generate_case(master_seed: int, index: int,
             "time": round(rng.uniform(10.0, horizon * 0.8), 1),
             "kind": kind,
             "station": None if kind == "drop_signal" else rng.randrange(n)})
+    # a replayed (stale) control signal; harmless when detected, which the
+    # default-seq injection always is — it checks the guard stays quiet
+    if rng.random() < 0.15:
+        faults.append({"time": round(rng.uniform(10.0, horizon * 0.8), 1),
+                       "kind": "stale_sat",
+                       "station": rng.randrange(n)})
     if faults:
         scenario["faults"] = sorted(faults, key=lambda e: e["time"])
 
@@ -113,8 +122,27 @@ def generate_case(master_seed: int, index: int,
             "speed": 0.5,
             "update_every": rng.choice([5, 10, 20])}
 
+    if chaos or rng.random() < 0.35:
+        scenario["impairments"] = _random_impairments(rng)
+
     return FuzzCase(seed=case_seed, index=index, scenario=scenario,
                     drive=_random_drive(rng, horizon))
+
+
+def _random_impairments(rng: random.Random) -> Dict[str, Any]:
+    """Draw a channel-impairment config: always some independent loss,
+    sometimes a Gilbert-Elliott burst process, sometimes a noise window."""
+    spec: Dict[str, Any] = {
+        "loss_prob": round(rng.uniform(0.002, 0.06), 4)}
+    if rng.random() < 0.5:
+        spec["ge_p_gb"] = round(rng.uniform(0.001, 0.02), 4)
+        spec["ge_p_bg"] = round(rng.uniform(0.05, 0.4), 3)
+        spec["ge_loss_bad"] = round(rng.uniform(0.3, 1.0), 2)
+    if rng.random() < 0.3:
+        start = round(rng.uniform(10.0, 600.0), 1)
+        spec["bursts"] = [{"start": start,
+                           "end": round(start + rng.uniform(5.0, 60.0), 1)}]
+    return spec
 
 
 def _random_traffic(rng: random.Random) -> Dict[str, Any]:

@@ -200,9 +200,13 @@ def rotation_bound_applies(net, scenario_dict: Dict[str, Any]) -> bool:
     losses or ring rebuilds; apply the bound oracle only when none occurred
     (neither scripted nor emergent, e.g. via mobility breaking a link)."""
     for event in scenario_dict.get("faults") or []:
-        if event.get("kind") in ("kill", "leave", "drop_signal"):
+        if event.get("kind") in ("kill", "leave", "drop_signal", "stale_sat"):
             return False
     if scenario_dict.get("mobility"):
+        return False
+    if scenario_dict.get("impairments"):
+        # stochastic frame loss voids the Theorem-1 preconditions (any hop
+        # may silently fail and trigger recovery)
         return False
     return (not net.recovery.records
             and net.recovery.ring_rebuilds == 0

@@ -123,6 +123,8 @@ def run_case(case: FuzzCase) -> FuzzResult:
         "joins": net.join_manager.joins_completed,
         "network_down": net.network_down,
     }
+    if net.impairments is not None:
+        stats["impairment_drops"] = net.impairments.drops
     return FuzzResult(case=case, failures=failures,
                       trace_hash=hash_trace(built.trace),
                       events_executed=engine.events_executed,

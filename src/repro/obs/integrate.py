@@ -33,10 +33,19 @@ class NetworkMetricsSubscriber:
     Counters: ``ring.delivered`` (labeled per service class), ``ring.lost``,
     ``ring.orphaned``, ``ring.kills``, ``ring.inserts``, ``ring.removes``,
     ``sat.releases``, ``sat.holds``, ``recovery.episodes``,
-    ``recovery.rebuilds``.  Histograms: ``sat.rotation_slots``,
-    ``recovery.delay_slots``.  Gauges (sampled every ``sample_every``
-    slots): ``ring.members`` and per-station/per-queue
-    ``station.queue_depth``.
+    ``recovery.rebuilds``, plus the impairment/robustness family:
+    ``phy.drops`` (labeled kind/reason), ``phy.link_drops`` (labeled per
+    link), ``sat.hop_lost``, ``sat.stale_discarded`` and ``fault.skipped``.
+    Histograms: ``sat.rotation_slots``, ``recovery.delay_slots``.  Gauges
+    (sampled every ``sample_every`` slots): ``ring.members`` and
+    per-station/per-queue ``station.queue_depth``.
+
+    When the network owns a broadcast channel, its
+    :class:`~repro.phy.channel.ChannelStats` totals are mirrored into
+    ``phy.frames_sent``, ``phy.collisions`` and per-kind
+    ``phy.frames_delivered`` counters — synced on the sampled tick and by
+    :meth:`flush` at end of run (counters appear only once nonzero, so
+    channel-less snapshots are unchanged).
     """
 
     def __init__(self, net, registry, sample_every: int = 100):
@@ -56,6 +65,15 @@ class NetworkMetricsSubscriber:
         self._rebuilds = registry.counter("recovery.rebuilds")
         self._recovery_delay = registry.histogram("recovery.delay_slots")
         self._members = registry.gauge("ring.members")
+        # lazily created, like the per-service delivery counters: these
+        # families only exist in a snapshot once their event fires
+        self._phy_drops = {}
+        self._link_drops = {}
+        self._sat_hop_lost = {}
+        self._sat_stale = None
+        self._fault_skipped = {}
+        # last ChannelStats totals already mirrored into counters
+        self._phy_seen = {}
 
     def attach(self, bus) -> "NetworkMetricsSubscriber":
         sub = bus.subscribe
@@ -70,6 +88,10 @@ class NetworkMetricsSubscriber:
         sub(_ev.StationRemoved, lambda ev: self._removes.inc())
         sub(_ev.RecoveryEpisode, self._on_episode)
         sub(_ev.RebuildDone, lambda ev: self._rebuilds.inc())
+        sub(_ev.FrameDropped, self._on_frame_dropped)
+        sub(_ev.SatHopLost, self._on_sat_hop_lost)
+        sub(_ev.SatStaleDiscarded, self._on_sat_stale)
+        sub(_ev.FaultSkipped, self._on_fault_skipped)
         sub(_ev.RingTick, self._on_tick)
         return self
 
@@ -86,11 +108,66 @@ class NetworkMetricsSubscriber:
         if ev.total_delay is not None:
             self._recovery_delay.observe(ev.total_delay)
 
+    def _on_frame_dropped(self, ev) -> None:
+        key = (ev.kind, ev.reason)
+        counter = self._phy_drops.get(key)
+        if counter is None:
+            counter = self._phy_drops[key] = self.registry.counter(
+                "phy.drops", kind=ev.kind, reason=ev.reason)
+        counter.inc()
+        link = f"{ev.src}->{ev.dst}"
+        link_counter = self._link_drops.get(link)
+        if link_counter is None:
+            link_counter = self._link_drops[link] = self.registry.counter(
+                "phy.link_drops", link=link)
+        link_counter.inc()
+
+    def _on_sat_hop_lost(self, ev) -> None:
+        counter = self._sat_hop_lost.get(ev.reason)
+        if counter is None:
+            counter = self._sat_hop_lost[ev.reason] = self.registry.counter(
+                "sat.hop_lost", reason=ev.reason)
+        counter.inc()
+
+    def _on_sat_stale(self, ev) -> None:
+        if self._sat_stale is None:
+            self._sat_stale = self.registry.counter("sat.stale_discarded")
+        self._sat_stale.inc()
+
+    def _on_fault_skipped(self, ev) -> None:
+        counter = self._fault_skipped.get(ev.kind)
+        if counter is None:
+            counter = self._fault_skipped[ev.kind] = self.registry.counter(
+                "fault.skipped", kind=ev.kind)
+        counter.inc()
+
+    def _sync_channel_stats(self) -> None:
+        stats = getattr(getattr(self.net, "channel", None), "stats", None)
+        if stats is None:
+            return
+        totals = {("phy.frames_sent", ()): stats.frames_sent,
+                  ("phy.collisions", ()): stats.collisions}
+        for kind, count in stats.deliveries_by_kind.items():
+            totals[("phy.frames_delivered", (("kind", kind),))] = count
+        seen = self._phy_seen
+        for key, total in totals.items():
+            delta = total - seen.get(key, 0)
+            if delta <= 0:
+                continue
+            name, labels = key
+            self.registry.counter(name, **dict(labels)).inc(delta)
+            seen[key] = total
+
+    def flush(self) -> None:
+        """Mirror any counts not yet published (call before a snapshot)."""
+        self._sync_channel_stats()
+
     def _on_tick(self, ev) -> None:
         if int(ev.t) % self.sample_every:
             return
         net = self.net
         self._members.set(net.n)
+        self._sync_channel_stats()
         registry = self.registry
         for sid in net.members:
             for queue, depth in net.stations[sid].queue_depths().items():

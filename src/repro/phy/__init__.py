@@ -12,7 +12,9 @@ slot.  This subpackage implements exactly that model:
   token-tree construction (the paper delegates these to "routing protocols";
   we build them so scenarios are self-contained),
 - :mod:`repro.phy.cdma` — code space and assignment algorithms,
-- :mod:`repro.phy.channel` — the slot-synchronous collision-resolving channel.
+- :mod:`repro.phy.channel` — the slot-synchronous collision-resolving channel,
+- :mod:`repro.phy.impairments` — deterministic stochastic frame loss
+  (independent + Gilbert–Elliott bursty + scripted noise bursts).
 """
 
 from repro.phy.geometry import (
@@ -34,6 +36,7 @@ from repro.phy.topology import (
 )
 from repro.phy.cdma import CodeSpace, BROADCAST_CODE, assign_codes_sequential, assign_codes_distributed
 from repro.phy.channel import SlottedChannel, Frame, CollisionRecord
+from repro.phy.impairments import NoiseBurst, ImpairmentSpec, ChannelImpairments
 
 __all__ = [
     "Arena",
@@ -58,4 +61,7 @@ __all__ = [
     "SlottedChannel",
     "Frame",
     "CollisionRecord",
+    "NoiseBurst",
+    "ImpairmentSpec",
+    "ChannelImpairments",
 ]

@@ -53,7 +53,9 @@ class ChannelStats:
     frames_sent: int = 0
     frames_delivered: int = 0
     collisions: int = 0
+    frames_dropped: int = 0
     deliveries_by_kind: Dict[str, int] = field(default_factory=dict)
+    drops_by_kind: Dict[str, int] = field(default_factory=dict)
 
 
 class SlottedChannel:
@@ -75,6 +77,13 @@ class SlottedChannel:
         self._pending: List[Frame] = []
         self.collisions: List[CollisionRecord] = []
         self.stats = ChannelStats()
+        #: optional :class:`~repro.phy.impairments.ChannelImpairments` loss
+        #: oracle; when set, audible frames are filtered through it *before*
+        #: collision resolution (a faded frame cannot collide)
+        self.impairments = None
+        #: ``drop_hook(time, frame, receiver, reason)`` — called once per
+        #: impairment drop so the owning network can emit a bus event
+        self.drop_hook: Optional[Callable[[float, Frame, int, str], None]] = None
         #: when True, per-network ``resolve_slot`` calls are no-ops and an
         #: external pump (e.g. :class:`repro.core.secondary.SharedChannelPump`)
         #: resolves once per slot after *all* co-located networks have
@@ -132,6 +141,7 @@ class SlottedChannel:
             by_code.setdefault(fr.code, []).append(fr)
 
         deliveries: Dict[int, List[Frame]] = {}
+        imp = self.impairments
         for station, codes in self._listen_codes.items():
             if not graph.has_node(station):
                 continue
@@ -143,6 +153,13 @@ class SlottedChannel:
                            if fr.src != station
                            and graph.has_node(fr.src)
                            and graph.in_range(station, fr.src)]
+                if imp is not None and audible:
+                    # "data" frames are validation mirrors of ring hops the
+                    # network already impairs internally — filtering them
+                    # again would double-count the loss process
+                    audible = [fr for fr in audible
+                               if fr.kind == "data"
+                               or not self._impaired(imp, time, fr, station)]
                 if len(audible) == 1:
                     fr = audible[0]
                     deliveries.setdefault(station, []).append(fr)
@@ -159,6 +176,17 @@ class SlottedChannel:
                                       receiver=station, code=code,
                                       senders=rec.senders)
         return deliveries
+
+    def _impaired(self, imp, time: float, fr: Frame, receiver: int) -> bool:
+        reason = imp.loss(time, fr.src, receiver, code=fr.code, kind=fr.kind)
+        if reason is None:
+            return False
+        self.stats.frames_dropped += 1
+        kinds = self.stats.drops_by_kind
+        kinds[fr.kind] = kinds.get(fr.kind, 0) + 1
+        if self.drop_hook is not None:
+            self.drop_hook(time, fr, receiver, reason)
+        return True
 
     # ------------------------------------------------------------------
     def pending_count(self) -> int:

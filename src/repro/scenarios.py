@@ -32,6 +32,7 @@ from repro.core.quotas import QuotaConfig
 from repro.core.ring import WRTRingNetwork
 from repro.faults import FaultSchedule
 from repro.phy.channel import SlottedChannel
+from repro.phy.impairments import ChannelImpairments, ImpairmentSpec
 from repro.phy.geometry import Arena, ring_placement, uniform_placement
 from repro.phy.mobility import JitterMobility, StaticMobility
 from repro.phy.topology import ConnectivityGraph, construct_ring
@@ -102,6 +103,8 @@ class Scenario:
     traffic: TrafficMix = field(default_factory=TrafficMix)
     mobility: Optional[MobilitySpec] = None
     faults: Optional[FaultSchedule] = None
+    #: stochastic frame loss (None or an all-defaults spec = clean channel)
+    impairments: Optional[ImpairmentSpec] = None
     check_invariants: bool = False
     horizon: float = 10_000.0
     seed: int = 0
@@ -183,6 +186,9 @@ class ScenarioResult:
             out["rotation_samples"] = len(samples)
             out["rotation_bound"] = bound
             out["bound_holds"] = max(samples) < bound
+            violations = sum(1 for s in samples if s >= bound)
+            out["rotation_violations"] = violations
+            out["rotation_violation_rate"] = violations / len(samples)
         if net.recovery.records:
             out["recovery_delays"] = [r.total_delay
                                       for r in net.recovery.records]
@@ -192,6 +198,11 @@ class ScenarioResult:
         shares = [sum(net.stations[s].sent.values()) for s in net.members]
         if shares and sum(shares) > 0:
             out["fairness"] = jain_fairness(shares)
+        if self.scenario.faults is not None:
+            out["faults_applied"] = len(self.scenario.faults.applied)
+            out["faults_skipped"] = len(self.scenario.faults.skipped)
+        if net.impairments is not None:
+            out["impairments"] = net.impairments.summary()
         if self.checker is not None:
             out["invariants_clean"] = self.checker.clean
             out["invariant_violations"] = list(self.checker.violations)
@@ -299,8 +310,15 @@ def build_scenario(scenario: Scenario) -> ScenarioResult:
     )
     channel = (SlottedChannel(graph_provider, trace=trace)
                if (scenario.use_channel or scenario.validate_phy) else None)
+    impairments = None
+    if scenario.impairments is not None and scenario.impairments.enabled:
+        # built only when a loss source is active so the clean-channel path
+        # stays byte-identical (no extra RNG streams, no extra branches)
+        impairments = ChannelImpairments(scenario.impairments,
+                                         streams.fork("impairments"))
     net = WRTRingNetwork(engine, ring_order, config, graph=graph_provider,
-                         channel=channel, trace=trace)
+                         channel=channel, trace=trace,
+                         impairments=impairments)
 
     if mob_spec is not None and mob_spec.wander_radius > 0:
         mob_rng = streams.numpy_stream("mobility")
