@@ -1,0 +1,104 @@
+"""Fabric scaling — ticks/s and cross-ring QoS vs ring count.
+
+The fabric layer's pitch is co-simulating many gateway-bridged WRT rings
+at once (one process per ring, conservative SAT-window sync).  This bench
+grows a chain fabric from 2 to 16 rings at 64 stations each — 128 up to
+1024 stations — and records, per ring count:
+
+* wall-clock slot-ticks/s of the sharded run (the scaling series the
+  fabric must not collapse on: more rings add processes, not serial work);
+* the cross-ring deadline-miss rate (end-to-end QoS across gateways —
+  rises with path length as the per-hop gateway buffering accumulates);
+* serial-vs-sharded byte parity at every size (the determinism contract).
+
+Run directly for the table:  python benchmarks/bench_fabric_scaling.py
+"""
+
+import time
+
+from repro.fabric import FabricRunner, Topology
+
+from _harness import print_table
+
+RINGS = [2, 4, 8, 16]
+RING_SIZE = 64
+# the conservative sync window of a 64-station ring is its Theorem-1 SAT
+# bound, 448 slots; frames cross one gateway per window, so the horizon
+# must span several windows for multi-hop flows to land
+HORIZON = 2_400.0
+
+
+def _topology(rings: int) -> Topology:
+    return Topology(rings=rings, ring_size=RING_SIZE, layout="chain",
+                    cross_flows=3 * rings, flow_period=80.0,
+                    flow_deadline=1_200.0, horizon=HORIZON, seed=13)
+
+
+def measure(rings: int) -> dict:
+    topo = _topology(rings)
+    start = time.perf_counter()
+    with FabricRunner(topo, mode="sharded", trace=False) as runner:
+        runner.run()
+        sharded = runner.result()
+    elapsed = time.perf_counter() - start
+    with FabricRunner(topo, mode="serial", trace=False) as runner:
+        runner.run()
+        serial = runner.result()
+    s = sharded.summary()
+    return {
+        "stations": topo.stations,
+        "ticks_per_s": HORIZON / elapsed,
+        # core-count-independent scaling series: simulated station-slots
+        # per wall second (flat = linear scaling, multicore pushes it up)
+        "station_slots_per_s": HORIZON * topo.stations / elapsed,
+        "events": s["events_executed"],
+        "completed": s["frames_completed"],
+        "created": s["frames_created"],
+        "miss_rate": s["cross_ring_deadline_miss_rate"],
+        "parity": (sharded.summary() == dict(serial.summary(),
+                                             mode="sharded")
+                   and sharded.ring_table() == serial.ring_table()
+                   and sharded.flow_table() == serial.flow_table()),
+    }
+
+
+def measure_all(sizes):
+    return [(rings, measure(rings)) for rings in sizes]
+
+
+def test_fabric_scaling(benchmark):
+    results = benchmark.pedantic(measure_all, args=(RINGS,),
+                                 rounds=1, iterations=1)
+    _print(results)
+
+    for rings, m in results:
+        # determinism is the hard contract at every size
+        assert m["parity"], f"serial/sharded divergence at {rings} rings"
+        # flows must actually cross: every size completes some frames
+        assert m["completed"] > 0
+    by_rings = dict(results)
+    # the top size is the headline: >= 10^3 stations co-simulated
+    assert by_rings[RINGS[-1]]["stations"] >= 1000
+    # scaling must stay ~linear in total stations: normalized throughput
+    # (station-slots/s) at the top size within 4x of the smallest — a
+    # super-linear sync/exchange cost would collapse this ratio (multicore
+    # hosts, with one shard per core, push it the other way)
+    assert (by_rings[RINGS[-1]]["station_slots_per_s"]
+            > by_rings[RINGS[0]]["station_slots_per_s"] / 4.0)
+
+
+def _print(results) -> None:
+    rows = [[rings, m["stations"], f"{m['ticks_per_s']:,.0f}",
+             f"{m['station_slots_per_s']:,.0f}", m["events"],
+             f"{m['completed']}/{m['created']}",
+             f"{m['miss_rate']:.2%}", "ok" if m["parity"] else "FAIL"]
+            for rings, m in results]
+    print_table(f"fabric scaling (chain, {RING_SIZE} stations/ring, "
+                f"horizon {HORIZON:.0f})",
+                ["rings", "stations", "ticks/s", "station-slots/s",
+                 "events", "completed", "miss rate", "parity"],
+                rows)
+
+
+if __name__ == "__main__":
+    _print(measure_all(RINGS))

@@ -107,8 +107,13 @@ def default_columns(sweep, records: Sequence[Mapping[str, Any]]
             for key in point:
                 seen.setdefault(key)
         axis_fields = list(seen)
-    metrics = ["delivered", "goodput_per_slot", "worst_rotation",
-               "rotation_bound", "bound_holds"]
+    if getattr(sweep, "topology", None) is not None:
+        # fabric sweeps carry fabric summaries, not scenario summaries
+        metrics = ["rings", "stations", "frames_created", "frames_completed",
+                   "cross_ring_deadline_miss_rate", "gw_forwards"]
+    else:
+        metrics = ["delivered", "goodput_per_slot", "worst_rotation",
+                   "rotation_bound", "bound_holds"]
     def axis_accessor(name: str) -> Callable[[Mapping], Any]:
         def access(record: Mapping[str, Any], _name=name) -> Any:
             overrides = record.get("point") or {}

@@ -13,7 +13,13 @@ that declaratively:
 
 Axis/override keys address fields of the scenario *dict*
 (:func:`repro.config_io.scenario_to_dict`); dotted keys reach nested
-fields (``"traffic.rate"``, ``"mobility.wander_radius"``).
+fields (``"traffic.rate"``, ``"mobility.wander_radius"``).  A sweep with
+``topology=`` set ranges over a multi-ring fabric instead
+(:class:`repro.fabric.Topology`): the base dict comes from
+:func:`repro.fabric.topology_to_dict` and axes may address fabric fields
+through the same dotted syntax (``"topology.rings"``,
+``"topology.cross_flows"``); workers dispatch each point to
+:func:`repro.fabric.run_fabric_point`.
 
 Unless a point overrides ``seed`` itself, each point receives an
 independent deterministic seed derived from the sweep's master seed via
@@ -71,6 +77,10 @@ class SweepPoint:
     key: str                        #: canonical JSON of ``overrides``
 
     def scenario(self) -> Scenario:
+        if "topology" in self.scenario_dict:
+            raise ValueError(
+                "fabric sweep point — rebuild it with "
+                "repro.fabric.topology_from_dict(point.scenario_dict)")
         return scenario_from_dict(self.scenario_dict)
 
     def label(self) -> str:
@@ -98,6 +108,10 @@ class Sweep:
     name: str = ""
     seed: int = 0                            #: master seed for derivation
     derive_seeds: bool = True
+    #: a :class:`repro.fabric.Topology` (or its dict form) — when set the
+    #: sweep ranges over fabric runs and ``base`` is ignored (the topology
+    #: carries its own per-ring base scenario)
+    topology: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("grid", "zip"):
@@ -124,9 +138,17 @@ class Sweep:
             combos = itertools.product(*values)
         return [dict(zip(keys, combo)) for combo in combos]
 
+    def _base_dict(self) -> Dict[str, Any]:
+        if self.topology is None:
+            return scenario_to_dict(self.base)
+        if isinstance(self.topology, Mapping):
+            return json.loads(json.dumps(self.topology))
+        from repro.fabric.topology import topology_to_dict
+        return topology_to_dict(self.topology)
+
     def expand(self) -> List[SweepPoint]:
         """Materialize every point, in deterministic sweep order."""
-        base_dict = scenario_to_dict(self.base)
+        base_dict = self._base_dict()
         streams = RandomStreams(self.seed)
         out: List[SweepPoint] = []
         seen: Dict[str, int] = {}
@@ -163,12 +185,15 @@ def sweep_to_dict(sweep: Sweep) -> Dict[str, Any]:
         out["axes"] = {k: list(v) for k, v in sweep.axes.items()}
     if sweep.points is not None:
         out["points"] = [dict(p) for p in sweep.points]
+    if sweep.topology is not None:
+        out["topology"] = sweep._base_dict()
     return out
 
 
 def sweep_from_dict(data: Mapping[str, Any]) -> Sweep:
     """Build a Sweep from the dict shape :func:`sweep_to_dict` emits."""
-    known = {"base", "mode", "seed", "derive_seeds", "name", "axes", "points"}
+    known = {"base", "mode", "seed", "derive_seeds", "name", "axes",
+             "points", "topology"}
     unknown = set(data) - known
     if unknown:
         raise ValueError(f"unknown sweep keys: {sorted(unknown)}")
@@ -179,4 +204,5 @@ def sweep_from_dict(data: Mapping[str, Any]) -> Sweep:
                  points=data.get("points"),
                  name=data.get("name", ""),
                  seed=data.get("seed", 0),
-                 derive_seeds=data.get("derive_seeds", True))
+                 derive_seeds=data.get("derive_seeds", True),
+                 topology=data.get("topology"))

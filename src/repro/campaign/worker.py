@@ -28,6 +28,12 @@ def run_point(scenario_dict: Dict[str, Any]) -> Dict[str, Any]:
     from repro.config_io import scenario_from_dict
     from repro.scenarios import run_scenario
 
+    if "topology" in scenario_dict:
+        # a fabric sweep point: the dict describes a whole multi-ring
+        # topology, not a single scenario
+        from repro.fabric.runner import run_fabric_point
+        return run_fabric_point(scenario_dict)
+
     start = time.perf_counter()
     result = run_scenario(scenario_from_dict(scenario_dict))
     return {

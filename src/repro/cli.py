@@ -1,8 +1,9 @@
 """Command-line interface.
 
-Seven subcommands, mirroring the library's main entry points::
+Eight subcommands, mirroring the library's main entry points::
 
     python -m repro simulate  --n 8 --l 2 --k 1 --horizon 20000 [--timeline f]
+    python -m repro fabric    --rings 8 --ring-size 16 [--mode sharded]
     python -m repro sweep     --axis n=4,8,12 --axis l=1,2 [--workers 4]
     python -m repro fuzz      --runs 200 --seed 1 [--max-slots 1200] [--shrink]
     python -m repro perf      run [--quick] | check [--baseline f]
@@ -21,7 +22,9 @@ repro bundle (see docs/FUZZING.md); ``perf`` runs the pinned performance
 suite and gates regressions against the ``BENCH_perf.json`` trajectory;
 ``bounds`` evaluates the paper's closed forms; ``compare`` runs the
 WRT-Ring-vs-TPT trio (round trip, capacity, failure reaction); ``allocate``
-sizes the guaranteed quotas for a demand set.
+sizes the guaranteed quotas for a demand set; ``fabric`` co-simulates a
+multi-ring topology bridged by gateways, serially or one process per ring
+(see docs/FABRIC.md).
 """
 
 from __future__ import annotations
@@ -87,6 +90,60 @@ def build_parser() -> argparse.ArgumentParser:
                      help="attach a metrics registry and include its "
                           "snapshot in the summary")
     sim.add_argument("--json", action="store_true", help="JSON summary")
+
+    fab = sub.add_parser("fabric", help="co-simulate a multi-ring fabric "
+                                        "bridged by gateways (serial or "
+                                        "one process per ring)")
+    fab.add_argument("--config", type=str, default=None,
+                     help="JSON topology file (overrides the other flags; "
+                          "see examples/conference_building.json)")
+    fab.add_argument("--rings", type=int, default=4)
+    fab.add_argument("--ring-size", type=int, default=8,
+                     help="stations per ring (gateways included)")
+    fab.add_argument("--layout", choices=["chain", "cycle", "star"],
+                     default="chain")
+    fab.add_argument("--placement", choices=["spread", "first"],
+                     default="spread",
+                     help="where gateway stations sit on each ring")
+    fab.add_argument("--flows", type=int, default=4,
+                     help="number of generated cross-ring flows")
+    fab.add_argument("--flow-kind", choices=["cbr", "poisson"], default="cbr")
+    fab.add_argument("--flow-rate", type=float, default=0.02,
+                     help="per-flow rate for poisson cross traffic")
+    fab.add_argument("--flow-period", type=float, default=50.0,
+                     help="inter-frame period for cbr cross traffic")
+    fab.add_argument("--flow-service", choices=["premium", "assured", "be"],
+                     default="premium")
+    fab.add_argument("--deadline", type=float, default=None,
+                     help="relative end-to-end deadline per cross-ring frame")
+    fab.add_argument("--min-hops", type=int, default=1,
+                     help="minimum gateway hops per generated flow")
+    fab.add_argument("--gateway-buffer", type=int, default=64,
+                     help="per-direction gateway buffer (frames)")
+    fab.add_argument("--ttl", type=float, default=None,
+                     help="max slots a frame may wait in a gateway buffer")
+    fab.add_argument("--sync-window", type=float, default=None,
+                     help="override the conservative sync window "
+                          "(default: min SAT rotation bound across rings)")
+    fab.add_argument("--horizon", type=float, default=2_000.0)
+    fab.add_argument("--seed", type=int, default=0)
+    fab.add_argument("--mode", choices=["serial", "sharded"],
+                     default="serial")
+    fab.add_argument("--parity", action="store_true",
+                     help="run BOTH modes and verify byte-identical merged "
+                          "traces and tables")
+    fab.add_argument("--timeline", type=str, default=None, metavar="OUT.json",
+                     help="export one merged Chrome-trace/Perfetto timeline "
+                          "(all rings, one process lane each)")
+    fab.add_argument("--metrics", action="store_true",
+                     help="attach per-ring metric registries and include "
+                          "the rolled-up snapshot in the summary")
+    fab.add_argument("--no-trace", action="store_true",
+                     help="disable trace recording (large runs; trace hash "
+                          "degenerates to the empty hash)")
+    fab.add_argument("--save", type=str, default=None, metavar="OUT.json",
+                     help="write the resolved topology config and exit")
+    fab.add_argument("--json", action="store_true", help="JSON summary")
 
     sw = sub.add_parser("sweep", help="run a scenario-sweep campaign "
                                       "(parallel, cached, resumable)")
@@ -349,6 +406,86 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         horizon=args.horizon, seed=args.seed)
     payload = _run_observed(scenario, args.timeline, args.metrics)
     _emit(payload, args.json)
+    return 0
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    from repro.core.packet import ServiceClass
+    from repro.fabric import (FabricRunner, Topology, export_merged_timeline,
+                              load_topology, merged_trace_lines,
+                              save_topology)
+
+    if args.config is not None:
+        topo = load_topology(args.config)
+    else:
+        service = {"premium": ServiceClass.PREMIUM,
+                   "assured": ServiceClass.ASSURED,
+                   "be": ServiceClass.BEST_EFFORT}[args.flow_service]
+        try:
+            topo = Topology(
+                rings=args.rings, ring_size=args.ring_size,
+                layout=args.layout, gateway_placement=args.placement,
+                cross_flows=args.flows, flow_kind=args.flow_kind,
+                flow_rate=args.flow_rate, flow_period=args.flow_period,
+                flow_service=service, flow_deadline=args.deadline,
+                min_ring_hops=args.min_hops,
+                gateway_buffer=args.gateway_buffer, frame_ttl=args.ttl,
+                sync_window=args.sync_window,
+                horizon=args.horizon, seed=args.seed)
+        except ValueError as exc:
+            raise SystemExit(f"bad topology: {exc}")
+    if args.save is not None:
+        save_topology(topo, args.save)
+        print(f"wrote {args.save}")
+        return 0
+
+    trace = not args.no_trace
+
+    def execute(mode):
+        with FabricRunner(topo, mode=mode, trace=trace,
+                          observe=args.metrics) as runner:
+            runner.run()
+            return runner.result(include_trace=trace)
+
+    result = execute(args.mode)
+    if args.parity:
+        other = execute("sharded" if args.mode == "serial" else "serial")
+        checks = {
+            "trace_hash": result.trace_hash() == other.trace_hash(),
+            "ring_table": result.ring_table() == other.ring_table(),
+            "flow_table": result.flow_table() == other.flow_table(),
+            "summary": (dict(result.summary(), mode="") ==
+                        dict(other.summary(), mode="")),
+        }
+        if trace:
+            checks["merged_trace"] = (merged_trace_lines(result) ==
+                                      merged_trace_lines(other))
+        if not all(checks.values()):
+            bad = ", ".join(k for k, v in checks.items() if not v)
+            print(f"PARITY FAILED: {result.mode} vs {other.mode} "
+                  f"differ on {bad}", file=sys.stderr)
+            return 1
+        print(f"parity OK: serial and sharded byte-identical "
+              f"({len(checks)} checks)", file=sys.stderr)
+
+    payload = result.summary()
+    if args.metrics:
+        payload["metrics"] = result.merged_metrics()
+    if args.timeline is not None:
+        if not trace:
+            raise SystemExit("--timeline needs tracing; drop --no-trace")
+        count = export_merged_timeline(args.timeline, result)
+        payload["timeline"] = {"path": args.timeline, "events": count}
+    if args.json:
+        _emit(payload, True)
+    else:
+        _emit({k: v for k, v in payload.items()
+               if k not in ("metrics",)}, False)
+        print()
+        print(result.ring_table())
+        if result.topology.resolved_flows():
+            print()
+            print(result.flow_table())
     return 0
 
 
@@ -654,6 +791,7 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "fabric": _cmd_fabric,
     "sweep": _cmd_sweep,
     "fuzz": _cmd_fuzz,
     "perf": _cmd_perf,

@@ -51,6 +51,7 @@ _DIRECT = (
     T.TptKill, T.TptTokenLost, T.TptJoin, T.TptTimeout, T.TptTokenReissued,
     T.TptProbeLost, T.TptRebuildStart, T.TptDown, T.TptRebuildDone,
     T.TokenRotation, T.TptRap,
+    T.GatewayBuffer,
 )
 
 #: opt-in trace category -> event type (``TraceRecorder.OPT_IN``):
@@ -75,6 +76,8 @@ def traced_category(etype: Type[ProtocolEvent]) -> Optional[str]:
         return "ring.link_loss (reason='link' only)"
     if etype is T.PacketOrphaned:
         return "ring.orphan_ttl (reason='ttl' only)"
+    if etype in (T.GatewayForward, T.GatewayDrop):
+        return f"{etype.category} (packet rendered as src/dst/service)"
     if etype in _OPT_IN:
         return f"{etype.category} (opt-in)"
     return etype.category
@@ -93,6 +96,8 @@ class TraceAdapter:
         bus.subscribe(T.PacketLost, self._on_packet_lost)
         bus.subscribe(T.PacketOrphaned, self._on_packet_orphaned)
         bus.subscribe(T.RapClose, self._on_rap_close)
+        bus.subscribe(T.GatewayForward, self._on_gw_forward)
+        bus.subscribe(T.GatewayDrop, self._on_gw_drop)
         self.refresh(bus)
         return self
 
@@ -123,6 +128,25 @@ class TraceAdapter:
         else:
             self.trace.record(ev.t, "rap.close", ingress=ev.ingress,
                               joined=ev.joined, duplicate=ev.duplicate)
+
+    # -- gateway renderings --------------------------------------------
+    # Packet ids are allocated from a process-global counter, so they
+    # differ between serial and process-per-ring runs of the same fabric
+    # topology.  The trace record therefore renders the packet by its
+    # deterministic coordinates (src/dst/service) — never its pid — so
+    # merged fabric traces stay byte-identical across execution modes.
+    def _on_gw_forward(self, ev) -> None:
+        pkt = ev.packet
+        self.trace.record(ev.t, "gw.forward", gateway=ev.gateway,
+                          direction=ev.direction, src=pkt.src, dst=pkt.dst,
+                          service=pkt.service.short)
+
+    def _on_gw_drop(self, ev) -> None:
+        pkt = ev.packet
+        self.trace.record(ev.t, "gw.drop", gateway=ev.gateway,
+                          direction=ev.direction, reason=ev.reason,
+                          src=pkt.src, dst=pkt.dst,
+                          service=pkt.service.short)
 
     # -- opt-in category toggling --------------------------------------
     def refresh(self, bus) -> None:

@@ -1,0 +1,38 @@
+"""Sharded multi-ring fabric: co-simulate gateway-bridged WRT rings.
+
+One :class:`Topology` describes a fabric of rings joined by gateway links;
+a :class:`FabricRunner` executes it either serially in-process (reference /
+debugging mode) or with one OS process per ring, synchronized by
+conservative SAT-rotation time windows.  Rings only interact through
+gateway buffers, so each shard can safely advance a full window before
+exchanging :class:`FabricFrame` payloads at deterministic barrier ticks —
+serial, sharded and paused/resumed runs all produce byte-identical merged
+traces and tables.
+"""
+
+from repro.fabric.frames import FabricFrame
+from repro.fabric.merge import (export_merged_timeline, merged_timeline,
+                                merged_trace_lines)
+from repro.fabric.runner import FabricResult, FabricRunner, run_fabric_point
+from repro.fabric.shard import RingShard
+from repro.fabric.topology import (CrossFlow, GatewayLink, Topology,
+                                   load_topology, save_topology,
+                                   topology_from_dict, topology_to_dict)
+
+__all__ = [
+    "CrossFlow",
+    "FabricFrame",
+    "FabricResult",
+    "FabricRunner",
+    "GatewayLink",
+    "RingShard",
+    "Topology",
+    "export_merged_timeline",
+    "load_topology",
+    "merged_timeline",
+    "merged_trace_lines",
+    "run_fabric_point",
+    "save_topology",
+    "topology_from_dict",
+    "topology_to_dict",
+]

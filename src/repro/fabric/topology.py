@@ -1,0 +1,362 @@
+"""Composable multi-ring topology descriptions.
+
+The paper's architecture is hierarchical — many WRT-Rings bridged by
+gateway stations into one larger ad hoc network (Sec. 1, Fig. 1).  A
+:class:`Topology` extends the single-ring :class:`~repro.scenarios.Scenario`
+with the fabric-level structure: how many rings, how they are wired
+together (``layout``), where on each ring the gateway stations sit
+(``gateway_placement``), and which end-to-end flows cross ring boundaries.
+
+Everything here is *pure description + pure resolution*: gateway links,
+shortest-path routes and the cross-ring flow set are deterministic
+functions of the topology (flows derive from ``RandomStreams(seed)``), so
+every execution mode — serial, process-per-ring, resumed — sees the exact
+same fabric.
+
+Serialization mirrors ``config_io``: the dict form keeps the per-ring
+scenario template's fields at the top level (the shape
+:func:`repro.config_io.scenario_to_dict` emits) and adds one ``topology``
+sub-dict, so campaign sweeps address fabric axes as ``topology.rings``,
+``topology.gateway_placement`` … with the ordinary dotted-key machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.packet import ServiceClass
+from repro.scenarios import Scenario, TrafficMix
+from repro.sim.rng import RandomStreams
+
+__all__ = ["GatewayLink", "CrossFlow", "Topology",
+           "topology_to_dict", "topology_from_dict",
+           "load_topology", "save_topology"]
+
+_SERVICE_NAMES = {c.name.lower(): c for c in ServiceClass}
+
+
+@dataclass(frozen=True)
+class GatewayLink:
+    """One bridge between two rings.
+
+    ``station_a``/``station_b`` are the *local* station ids of the gateway
+    stations on each side; the pair of buffers at their feet is the only
+    place the two rings interact.
+    """
+
+    ring_a: int
+    station_a: int
+    ring_b: int
+    station_b: int
+
+    def __post_init__(self) -> None:
+        if self.ring_a == self.ring_b:
+            raise ValueError(f"a gateway link must join two distinct rings, "
+                             f"got ring {self.ring_a} twice")
+
+    def key(self) -> Tuple[int, int]:
+        """Canonical undirected identity of the link."""
+        return (min(self.ring_a, self.ring_b), max(self.ring_a, self.ring_b))
+
+    def endpoint(self, ring: int) -> int:
+        """The gateway station of this link on ``ring``."""
+        if ring == self.ring_a:
+            return self.station_a
+        if ring == self.ring_b:
+            return self.station_b
+        raise KeyError(f"ring {ring} is not an endpoint of {self}")
+
+    def other(self, ring: int) -> int:
+        if ring == self.ring_a:
+            return self.ring_b
+        if ring == self.ring_b:
+            return self.ring_a
+        raise KeyError(f"ring {ring} is not an endpoint of {self}")
+
+
+@dataclass(frozen=True)
+class CrossFlow:
+    """One end-to-end flow across the fabric.
+
+    ``deadline`` is relative (slots after creation); ``kind`` is ``"cbr"``
+    (needs ``period``) or ``"poisson"`` (needs ``rate``).
+    """
+
+    src_ring: int
+    src_station: int
+    dst_ring: int
+    dst_station: int
+    kind: str = "cbr"
+    rate: float = 0.02
+    period: float = 50.0
+    service: ServiceClass = ServiceClass.PREMIUM
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cbr", "poisson"):
+            raise ValueError(f"unknown flow kind {self.kind!r}")
+        if self.src_ring == self.dst_ring:
+            raise ValueError("cross-ring flows must join distinct rings "
+                             f"(got ring {self.src_ring} twice)")
+
+
+@dataclass
+class Topology:
+    """A fabric of gateway-bridged WRT-Rings."""
+
+    rings: int = 4
+    ring_size: int = 8
+    layout: str = "chain"              # "chain" | "cycle" | "star"
+    gateway_placement: str = "spread"  # "first" | "spread"
+    #: explicit bridge list; None derives one from ``layout``
+    links: Optional[List[GatewayLink]] = None
+    #: per-ring scenario template (its ``n`` and ``seed`` are overridden)
+    base: Scenario = field(default_factory=lambda: Scenario(
+        traffic=TrafficMix(kind="none")))
+    #: explicit cross-ring flows; None generates ``cross_flows`` random ones
+    flows: Optional[List[CrossFlow]] = None
+    cross_flows: int = 4
+    flow_kind: str = "cbr"
+    flow_rate: float = 0.02
+    flow_period: float = 50.0
+    flow_service: ServiceClass = ServiceClass.PREMIUM
+    #: relative per-frame deadline in slots (None = best effort)
+    flow_deadline: Optional[float] = None
+    #: generated flows span at least this many gateway hops
+    min_ring_hops: int = 1
+    #: bound on each gateway's cross-ring out-buffer (frames per link)
+    gateway_buffer: int = 64
+    #: max slots a frame may wait in a gateway buffer before it is aged out
+    frame_ttl: Optional[float] = None
+    #: barrier spacing in slots; None = conservative SAT-rotation lookahead
+    sync_window: Optional[float] = None
+    horizon: float = 2_000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rings < 2:
+            raise ValueError(f"a fabric needs >= 2 rings, got {self.rings}")
+        if self.ring_size < 2:
+            raise ValueError(f"ring_size must be >= 2, got {self.ring_size}")
+        if self.layout not in ("chain", "cycle", "star"):
+            raise ValueError(f"unknown layout {self.layout!r}")
+        if self.gateway_placement not in ("first", "spread"):
+            raise ValueError(
+                f"unknown gateway_placement {self.gateway_placement!r}")
+        if self.flow_kind not in ("cbr", "poisson"):
+            raise ValueError(f"unknown flow_kind {self.flow_kind!r}")
+        if self.gateway_buffer < 1:
+            raise ValueError(
+                f"gateway_buffer must be >= 1, got {self.gateway_buffer}")
+        if self.min_ring_hops < 1:
+            raise ValueError(
+                f"min_ring_hops must be >= 1, got {self.min_ring_hops}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon!r}")
+
+    @property
+    def stations(self) -> int:
+        """Total station count across the fabric."""
+        return self.rings * self.ring_size
+
+    # ------------------------------------------------------------------
+    # structure resolution (pure functions of the spec)
+    # ------------------------------------------------------------------
+    def resolved_links(self) -> List[GatewayLink]:
+        """The bridge list, deriving one from ``layout`` when not explicit."""
+        if self.links is not None:
+            return list(self.links)
+        pairs: List[Tuple[int, int]] = []
+        if self.layout == "chain":
+            pairs = [(r, r + 1) for r in range(self.rings - 1)]
+        elif self.layout == "cycle":
+            pairs = [(r, (r + 1) % self.rings) for r in range(self.rings)]
+            if self.rings == 2:          # cycle of two collapses to a chain
+                pairs = pairs[:1]
+        else:                            # star: ring 0 is the hub
+            pairs = [(0, r) for r in range(1, self.rings)]
+        # count the links per ring first so "spread" can space the gateway
+        # stations around each ring
+        per_ring: Dict[int, int] = {}
+        for a, b in pairs:
+            per_ring[a] = per_ring.get(a, 0) + 1
+            per_ring[b] = per_ring.get(b, 0) + 1
+        slot: Dict[int, int] = {}
+
+        def place(ring: int) -> int:
+            if self.gateway_placement == "first":
+                return 0
+            j = slot.get(ring, 0)
+            slot[ring] = j + 1
+            return (j * self.ring_size) // max(1, per_ring[ring])
+
+        return [GatewayLink(a, place(a), b, place(b)) for a, b in pairs]
+
+    def ring_neighbours(self) -> Dict[int, List[Tuple[int, GatewayLink]]]:
+        """``ring -> sorted [(neighbour ring, link), ...]`` adjacency."""
+        adj: Dict[int, List[Tuple[int, GatewayLink]]] = {
+            r: [] for r in range(self.rings)}
+        for link in self.resolved_links():
+            adj[link.ring_a].append((link.ring_b, link))
+            adj[link.ring_b].append((link.ring_a, link))
+        for entries in adj.values():
+            entries.sort(key=lambda e: e[0])
+        return adj
+
+    def route(self, src_ring: int, dst_ring: int) -> Tuple[int, ...]:
+        """Deterministic shortest ring path (BFS, sorted neighbour order)."""
+        if src_ring == dst_ring:
+            return (src_ring,)
+        adj = self.ring_neighbours()
+        parent: Dict[int, int] = {src_ring: src_ring}
+        frontier = [src_ring]
+        while frontier and dst_ring not in parent:
+            nxt: List[int] = []
+            for ring in frontier:
+                for neighbour, _link in adj[ring]:
+                    if neighbour not in parent:
+                        parent[neighbour] = ring
+                        nxt.append(neighbour)
+            frontier = nxt
+        if dst_ring not in parent:
+            raise ValueError(f"no gateway path from ring {src_ring} to "
+                             f"ring {dst_ring}")
+        path = [dst_ring]
+        while path[-1] != src_ring:
+            path.append(parent[path[-1]])
+        return tuple(reversed(path))
+
+    def link_between(self, ring_a: int, ring_b: int) -> GatewayLink:
+        for link in self.resolved_links():
+            if {link.ring_a, link.ring_b} == {ring_a, ring_b}:
+                return link
+        raise KeyError(f"no gateway link between rings {ring_a} and {ring_b}")
+
+    def resolved_flows(self) -> List[CrossFlow]:
+        """The cross-ring flow set; generated flows derive from ``seed``."""
+        if self.flows is not None:
+            return list(self.flows)
+        rng = RandomStreams(self.seed).stream("fabric.flows")
+        hops = {(a, b): len(self.route(a, b)) - 1
+                for a in range(self.rings) for b in range(self.rings) if a != b}
+        out: List[CrossFlow] = []
+        for _ in range(self.cross_flows):
+            src_ring = rng.randrange(self.rings)
+            far = sorted(b for (a, b), h in hops.items()
+                         if a == src_ring and h >= self.min_ring_hops)
+            if not far:    # isolated ring under an explicit sparse link set
+                far = sorted(b for (a, b) in hops if a == src_ring)
+            dst_ring = rng.choice(far)
+            out.append(CrossFlow(
+                src_ring=src_ring,
+                src_station=rng.randrange(self.ring_size),
+                dst_ring=dst_ring,
+                dst_station=rng.randrange(self.ring_size),
+                kind=self.flow_kind, rate=self.flow_rate,
+                period=self.flow_period, service=self.flow_service,
+                deadline=self.flow_deadline))
+        return out
+
+    def ring_scenario(self, ring: int) -> Scenario:
+        """The per-ring scenario: the shared template with this ring's
+        size and an independent seed derived from the fabric seed."""
+        return replace(self.base, n=self.ring_size,
+                       horizon=self.horizon,
+                       seed=RandomStreams(self.seed).derive(f"ring:{ring}"))
+
+
+# ----------------------------------------------------------------------
+# serialization (the ``config_io`` shape + one "topology" sub-dict)
+# ----------------------------------------------------------------------
+def topology_to_dict(topo: Topology) -> Dict[str, Any]:
+    """JSON description: base-scenario fields at top level + ``topology``."""
+    from repro.config_io import scenario_to_dict
+
+    out = scenario_to_dict(topo.base)
+    # the fabric owns the horizon and master seed
+    out["horizon"] = topo.horizon
+    out["seed"] = topo.seed
+    sub: Dict[str, Any] = {
+        "rings": topo.rings,
+        "ring_size": topo.ring_size,
+        "layout": topo.layout,
+        "gateway_placement": topo.gateway_placement,
+        "cross_flows": topo.cross_flows,
+        "flow_kind": topo.flow_kind,
+        "flow_rate": topo.flow_rate,
+        "flow_period": topo.flow_period,
+        "flow_service": topo.flow_service.name.lower(),
+        "flow_deadline": topo.flow_deadline,
+        "min_ring_hops": topo.min_ring_hops,
+        "gateway_buffer": topo.gateway_buffer,
+        "frame_ttl": topo.frame_ttl,
+        "sync_window": topo.sync_window,
+    }
+    if topo.links is not None:
+        sub["links"] = [[l.ring_a, l.station_a, l.ring_b, l.station_b]
+                        for l in topo.links]
+    if topo.flows is not None:
+        sub["flows"] = [{
+            "src_ring": f.src_ring, "src_station": f.src_station,
+            "dst_ring": f.dst_ring, "dst_station": f.dst_station,
+            "kind": f.kind, "rate": f.rate, "period": f.period,
+            "service": f.service.name.lower(), "deadline": f.deadline,
+        } for f in topo.flows]
+    out["topology"] = sub
+    return out
+
+
+_TOPOLOGY_KEYS = {"rings", "ring_size", "layout", "gateway_placement",
+                  "links", "flows", "cross_flows", "flow_kind", "flow_rate",
+                  "flow_period", "flow_service", "flow_deadline",
+                  "min_ring_hops", "gateway_buffer", "frame_ttl",
+                  "sync_window"}
+
+
+def topology_from_dict(data: Dict[str, Any]) -> Topology:
+    """Build a Topology from the dict shape :func:`topology_to_dict` emits."""
+    from repro.config_io import scenario_from_dict
+
+    data = dict(data)
+    sub = dict(data.pop("topology", None) or {})
+    unknown = set(sub) - _TOPOLOGY_KEYS
+    if unknown:
+        raise ValueError(f"unknown topology keys: {sorted(unknown)}")
+    base = scenario_from_dict(data)
+    kwargs: Dict[str, Any] = {"base": base,
+                              "horizon": base.horizon, "seed": base.seed}
+    for key in ("rings", "ring_size", "layout", "gateway_placement",
+                "cross_flows", "flow_kind", "flow_rate", "flow_period",
+                "flow_deadline", "min_ring_hops", "gateway_buffer",
+                "frame_ttl", "sync_window"):
+        if key in sub:
+            kwargs[key] = sub[key]
+    if "flow_service" in sub:
+        kwargs["flow_service"] = _SERVICE_NAMES[sub["flow_service"].lower()]
+    if sub.get("links") is not None:
+        kwargs["links"] = [GatewayLink(a, sa, b, sb)
+                           for a, sa, b, sb in sub["links"]]
+    if sub.get("flows") is not None:
+        flows = []
+        for entry in sub["flows"]:
+            entry = dict(entry)
+            if "service" in entry:
+                entry["service"] = _SERVICE_NAMES[entry["service"].lower()]
+            flows.append(CrossFlow(**entry))
+        kwargs["flows"] = flows
+    return Topology(**kwargs)
+
+
+def save_topology(topo: Topology, path) -> None:
+    import json
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(topology_to_dict(topo), indent=2))
+
+
+def load_topology(path) -> Topology:
+    import json
+    from pathlib import Path
+
+    return topology_from_dict(json.loads(Path(path).read_text()))

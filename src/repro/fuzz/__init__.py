@@ -16,7 +16,9 @@ from repro.fuzz.bundle import (bundle_dict, load_bundle, replay_bundle,
 from repro.fuzz.campaign import FuzzCampaignResult, run_fuzz_campaign
 from repro.fuzz.generate import FuzzCase, generate_case
 from repro.fuzz.oracles import (ClockProbe, FuzzFailure, PacketLedger,
-                                check_conservation, check_no_undeliverable,
+                                check_conservation,
+                                check_gateway_conservation,
+                                check_no_undeliverable,
                                 check_rotation_bound)
 from repro.fuzz.runner import FuzzResult, hash_trace, run_case
 from repro.fuzz.shrink import shrink_case
@@ -25,7 +27,8 @@ __all__ = [
     "FuzzCase", "generate_case",
     "FuzzResult", "run_case", "hash_trace",
     "FuzzFailure", "ClockProbe", "PacketLedger",
-    "check_conservation", "check_no_undeliverable", "check_rotation_bound",
+    "check_conservation", "check_gateway_conservation",
+    "check_no_undeliverable", "check_rotation_bound",
     "shrink_case",
     "bundle_dict", "write_bundle", "load_bundle", "replay_bundle",
     "verify_bundle",

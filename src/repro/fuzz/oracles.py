@@ -24,10 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
-from repro.events.types import PacketEnqueued, RingTick
+from repro.events.types import GatewayDrop, PacketEnqueued, RingTick
 
 __all__ = ["FuzzFailure", "ClockProbe", "PacketLedger",
-           "check_conservation", "check_no_undeliverable",
+           "check_conservation", "check_gateway_conservation",
+           "check_no_undeliverable",
            "check_rotation_bound", "rotation_bound_applies"]
 
 _EPS = 1e-9
@@ -105,10 +106,18 @@ class PacketLedger:
     def __init__(self, net):
         self.net = net
         self.packets: List[Any] = []
+        self.gateway_dropped: List[Any] = []   # destroyed at a bridge
         net.events.subscribe(PacketEnqueued, self._on_enqueued)
+        net.events.subscribe(GatewayDrop, self._on_gateway_drop)
 
     def _on_enqueued(self, ev) -> None:
         self.packets.append(ev.packet)
+
+    def _on_gateway_drop(self, ev) -> None:
+        # bridges destroy packets *outside* the MAC (before enqueue, or
+        # after delivery to the gateway) — ring conservation never sees
+        # them, so the ledger records the loss from the typed event
+        self.gateway_dropped.append(ev)
 
     # ------------------------------------------------------------------
     def classify(self) -> Tuple[List[Any], List[Any], List[Any]]:
@@ -175,6 +184,48 @@ def check_conservation(net, ledger: PacketLedger) -> List[FuzzFailure]:
                     "conservation",
                     f"station {sid} counts {count} enqueued "
                     f"{service.short} packets, ledger saw {seen}"))
+    return failures
+
+
+def check_gateway_conservation(gateways,
+                               ledger: PacketLedger = None) -> List[FuzzFailure]:
+    """Every packet offered to a bridge is forwarded, destroyed-and-counted,
+    or still awaiting its ring leg — cross-network losses can't vanish.
+
+    When a ledger is given, the bridges' own drop counters are also checked
+    against the ``gw.drop`` events the ledger observed (LAN-side drops carry
+    a negative ``gateway`` id and are excluded — they are counted by the
+    LAN's ``dropped``, not by a Gateway).
+    """
+    failures: List[FuzzFailure] = []
+    for gw in gateways:
+        if gw.ingress_attempts != gw.forwarded_to_ring + gw.ingress_drops:
+            failures.append(FuzzFailure(
+                "gateway_conservation",
+                f"gateway {gw.sid}: {gw.ingress_attempts} LAN->ring offers "
+                f"but {gw.forwarded_to_ring} forwarded + {gw.ingress_drops} "
+                f"dropped"))
+        in_flight = len(gw._ring_to_lan_dst)
+        if gw.relayed != gw.forwarded_to_lan + gw.relay_drops + in_flight:
+            failures.append(FuzzFailure(
+                "gateway_conservation",
+                f"gateway {gw.sid}: {gw.relayed} ring->LAN relays but "
+                f"{gw.forwarded_to_lan} forwarded + {gw.relay_drops} dropped "
+                f"+ {in_flight} in flight — a relay mapping leaked"))
+    if ledger is not None:
+        counted = sum(gw.ingress_drops + gw.relay_drops for gw in gateways)
+        lan_relay_overflows = sum(
+            1 for ev in ledger.gateway_dropped
+            if ev.gateway < 0 and ev.reason == "overflow")
+        seen = sum(1 for ev in ledger.gateway_dropped if ev.gateway >= 0)
+        # a LAN overflow bounces the relay back as a Gateway relay_drop
+        # without its own gateway-side event
+        if counted != seen + lan_relay_overflows:
+            failures.append(FuzzFailure(
+                "gateway_conservation",
+                f"bridges count {counted} drops but the bus saw {seen} "
+                f"gateway gw.drop events (+{lan_relay_overflows} LAN "
+                f"overflows bounced to relay_drops)"))
     return failures
 
 

@@ -25,6 +25,9 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.packet import Packet, ServiceClass
+from repro.events.bus import NULL_EMITTER
+from repro.events.types import (GatewayBuffer, GatewayDrop, GatewayForward,
+                                PacketLost, PacketOrphaned)
 from repro.gateway.lan import DiffservLAN, LanPacket
 
 __all__ = ["Gateway", "StreamRequest", "StreamGrant"]
@@ -57,20 +60,52 @@ class StreamGrant:
 
 
 class Gateway:
-    """Application-layer bridge living on ring station ``sid``."""
+    """Application-layer bridge living on ring station ``sid``.
 
-    def __init__(self, network, sid: int, lan: DiffservLAN):
+    ``buffer_limit`` bounds the bridge buffer (the gateway station's class
+    queues): a LAN packet arriving while ``buffer_limit`` packets are
+    already queued is destroyed (``gw.drop`` reason ``overflow``) instead
+    of growing the queue without bound.  ``None`` keeps the legacy
+    unbounded behaviour.
+    """
+
+    # class-level null emitters: a gateway on a bus with no subscribers
+    # pays one falsy attribute load per event site
+    _ev_forward = NULL_EMITTER
+    _ev_drop = NULL_EMITTER
+    _ev_buffer = NULL_EMITTER
+
+    def __init__(self, network, sid: int, lan: DiffservLAN,
+                 buffer_limit: Optional[int] = None):
         if sid not in network._pos:
             raise KeyError(f"gateway station {sid} is not a ring member")
+        if buffer_limit is not None and buffer_limit < 1:
+            raise ValueError(f"buffer_limit must be >= 1, got {buffer_limit}")
         self.network = network
         self.sid = sid
         self.lan = lan
+        self.buffer_limit = buffer_limit
         self.streams: Dict[int, StreamRequest] = {}
         self.reserved_inbound_rate = 0.0   # LAN->ring premium packets/slot
         self.forwarded_to_ring = 0
         self.forwarded_to_lan = 0
+        self.ingress_attempts = 0          # LAN->ring offers (incl. drops)
+        self.ingress_drops = 0             # destroyed before MAC enqueue
+        self.relayed = 0                   # ring->LAN packets created
+        self.relay_drops = 0               # ring leg lost / no LAN host
         self._ring_to_lan_dst: Dict[int, int] = {}   # pid -> lan host
         network.add_delivery_callback(sid, self._on_ring_delivery)
+        # purge relay state when the ring leg dies mid-flight, so a lost
+        # cross-network packet is *counted* instead of leaking its mapping
+        network.events.subscribe(PacketLost, self._on_ring_loss)
+        network.events.subscribe(PacketOrphaned, self._on_ring_loss)
+        network.events.add_binder(self._bind_emitters)
+
+    def _bind_emitters(self) -> None:
+        bus = self.network.events
+        self._ev_forward = bus.emitter(GatewayForward)
+        self._ev_drop = bus.emitter(GatewayDrop)
+        self._ev_buffer = bus.emitter(GatewayBuffer)
 
     # ------------------------------------------------------------------
     # admission (the Fig. 2 handshakes)
@@ -113,14 +148,35 @@ class Gateway:
     # forwarding
     # ------------------------------------------------------------------
     def lan_ingress(self, pkt: LanPacket, ring_dst: int,
-                    deadline: Optional[float] = None) -> Packet:
-        """A LAN packet arriving at G1, to be relayed onto the ring."""
+                    deadline: Optional[float] = None) -> Optional[Packet]:
+        """A LAN packet arriving at G1, to be relayed onto the ring.
+
+        Returns the ring packet, or ``None`` when the bridge destroyed it
+        (gateway left the ring, or the bounded bridge buffer was full).
+        Drops happen *before* the MAC enqueue, so ring-side conservation
+        is untouched — the loss is visible as ``gw.drop``/``ingress_drops``.
+        """
         now = self.network.engine.now
+        self.ingress_attempts += 1
         ring_pkt = Packet(src=self.sid, dst=ring_dst, service=pkt.service,
                           created=pkt.created,
                           deadline=deadline if deadline is not None else pkt.deadline)
-        self.network.stations[self.sid].enqueue(ring_pkt, now)
+        station = self.network.stations.get(self.sid)
+        if station is None or not station.alive:
+            self.ingress_drops += 1
+            self._ev_drop(now, self.sid, "lan_to_ring", "no_member", ring_pkt)
+            return None
+        if (self.buffer_limit is not None
+                and station.queue_length() >= self.buffer_limit):
+            self.ingress_drops += 1
+            self._ev_drop(now, self.sid, "lan_to_ring", "overflow", ring_pkt)
+            return None
+        station.enqueue(ring_pkt, now)
         self.forwarded_to_ring += 1
+        self._ev_forward(now, self.sid, "lan_to_ring", ring_pkt)
+        if self._ev_buffer:
+            self._ev_buffer(now, self.sid, station.queue_length(),
+                            self.buffer_limit)
         return ring_pkt
 
     def send_to_lan(self, src_station: int, lan_dst: int,
@@ -133,6 +189,7 @@ class Gateway:
                      created=now,
                      deadline=None if deadline is None else now + deadline)
         self._ring_to_lan_dst[pkt.pid] = lan_dst
+        self.relayed += 1
         self.network.enqueue(pkt)
         return pkt
 
@@ -140,7 +197,24 @@ class Gateway:
         lan_dst = self._ring_to_lan_dst.pop(pkt.pid, None)
         if lan_dst is None:
             return  # ordinary traffic terminating at G1
-        self.lan.send(LanPacket(src=self.sid, dst=lan_dst,
-                                service=pkt.service, created=pkt.created,
-                                deadline=pkt.deadline, payload=pkt.pid))
-        self.forwarded_to_lan += 1
+        if lan_dst not in self.lan.hosts:
+            self.relay_drops += 1
+            self._ev_drop(t, self.sid, "ring_to_lan", "unknown_host", pkt)
+            return
+        lan_pkt = LanPacket(src=self.sid, dst=lan_dst, service=pkt.service,
+                            created=pkt.created, deadline=pkt.deadline,
+                            payload=pkt.pid)
+        if self.lan.send(lan_pkt):
+            self.forwarded_to_lan += 1
+            self._ev_forward(t, self.sid, "ring_to_lan", pkt)
+        else:
+            self.relay_drops += 1   # LAN bridge buffer overflowed
+
+    def _on_ring_loss(self, ev) -> None:
+        """The ring leg of a relay died (link loss, dead station, TTL
+        orphan, ...) before reaching G1: count it and drop the mapping."""
+        lan_dst = self._ring_to_lan_dst.pop(ev.packet.pid, None)
+        if lan_dst is None:
+            return
+        self.relay_drops += 1
+        self._ev_drop(ev.t, self.sid, "ring_to_lan", "ring_loss", ev.packet)

@@ -20,6 +20,8 @@ from typing import Callable, Deque, Dict, List, Optional
 
 from repro.analysis.metrics import DelaySeries
 from repro.core.packet import ServiceClass
+from repro.events.bus import NULL_EMITTER
+from repro.events.types import GatewayBuffer, GatewayDrop
 from repro.sim.engine import Engine
 
 __all__ = ["LanPacket", "LanHost", "DiffservLAN"]
@@ -56,17 +58,33 @@ class LanHost:
 class DiffservLAN:
     """The shared wired segment with per-class strict-priority service."""
 
+    #: falsy no-op emitters; rebound when the LAN is wired to a bus
+    _ev_drop = NULL_EMITTER
+    _ev_buffer = NULL_EMITTER
+
     def __init__(self, engine: Engine, capacity: int = 4,
-                 premium_share: float = 0.5):
+                 premium_share: float = 0.5,
+                 queue_limit: Optional[int] = None,
+                 ttl: Optional[float] = None,
+                 events=None, lan_id: int = -1):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1 packet/slot, got {capacity}")
         if not 0.0 < premium_share <= 1.0:
             raise ValueError(f"premium_share must be in (0,1], got {premium_share!r}")
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl!r}")
         self.engine = engine
         self.capacity = capacity
         self.premium_share = premium_share
+        self.queue_limit = queue_limit   # total buffered packets; None=∞
+        self.ttl = ttl                   # max slots queued; None=forever
+        self.lan_id = lan_id             # 'gateway' label on bus events
         self.hosts: Dict[int, LanHost] = {}
-        self.queues: Dict[ServiceClass, Deque[LanPacket]] = {
+        #: per-class FIFO of (packet, enqueue time) — enqueue times are
+        #: monotone within a queue, so TTL-expired packets are a prefix
+        self.queues: Dict[ServiceClass, Deque] = {
             c: deque() for c in ServiceClass}
         self.reserved_premium: float = 0.0   # packets/slot
         self.reservations: Dict[int, float] = {}
@@ -75,6 +93,15 @@ class DiffservLAN:
         self.delivered: Dict[ServiceClass, int] = {c: 0 for c in ServiceClass}
         self.dropped = 0
         self._started = False
+        if events is not None:
+            events.add_binder(lambda: self._bind_emitters(events))
+
+    def _bind_emitters(self, bus) -> None:
+        self._ev_drop = bus.emitter(GatewayDrop)
+        self._ev_buffer = bus.emitter(GatewayBuffer)
+
+    def _queued(self) -> int:
+        return sum(len(q) for q in self.queues.values())
 
     # ------------------------------------------------------------------
     def attach_host(self, host: LanHost) -> None:
@@ -115,23 +142,44 @@ class DiffservLAN:
     # ------------------------------------------------------------------
     # dataplane
     # ------------------------------------------------------------------
-    def send(self, pkt: LanPacket) -> None:
-        """Inject a packet into its class queue."""
+    def send(self, pkt: LanPacket) -> bool:
+        """Inject a packet into its class queue.
+
+        Returns True when buffered; False when the bounded queue was full
+        (the packet is destroyed and counted in ``dropped``).  Unknown
+        destinations raise ``KeyError`` (a protocol error, not a loss).
+        """
         if pkt.dst not in self.hosts:
             raise KeyError(f"unknown LAN destination {pkt.dst}")
-        self.queues[pkt.service].append(pkt)
+        now = self.engine.now
+        if self.queue_limit is not None and self._queued() >= self.queue_limit:
+            self.dropped += 1
+            self._ev_drop(now, self.lan_id, "ring_to_lan", "overflow", pkt)
+            return False
+        self.queues[pkt.service].append((pkt, now))
+        if self._ev_buffer:
+            self._ev_buffer(now, self.lan_id, self._queued(), self.queue_limit)
+        return True
 
     def _serve(self) -> None:
         t = self.engine.now
         budget = self.capacity
         for service in ServiceClass:   # strict priority order
             queue = self.queues[service]
+            if self.ttl is not None:
+                # FIFO ⇒ expired packets form a prefix of the queue
+                while queue and t - queue[0][1] > self.ttl:
+                    pkt, _ = queue.popleft()
+                    self.dropped += 1
+                    self._ev_drop(t, self.lan_id, "ring_to_lan", "ttl", pkt)
             while budget > 0 and queue:
-                pkt = queue.popleft()
+                pkt, _ = queue.popleft()
                 budget -= 1
                 host = self.hosts.get(pkt.dst)
                 if host is None:
                     self.dropped += 1
+                    self._ev_drop(t, self.lan_id, "ring_to_lan",
+                                  "unknown_host", pkt)
                     continue
                 self.delivered[service] += 1
                 self.delay[service].add(t + 1.0 - pkt.created)

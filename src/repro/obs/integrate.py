@@ -35,7 +35,9 @@ class NetworkMetricsSubscriber:
     ``sat.releases``, ``sat.holds``, ``recovery.episodes``,
     ``recovery.rebuilds``, plus the impairment/robustness family:
     ``phy.drops`` (labeled kind/reason), ``phy.link_drops`` (labeled per
-    link), ``sat.hop_lost``, ``sat.stale_discarded`` and ``fault.skipped``.
+    link), ``sat.hop_lost``, ``sat.stale_discarded`` and ``fault.skipped``,
+    plus the bridge family: ``gw.forwards`` (labeled direction) and
+    ``gw.drops`` (labeled reason).
     Histograms: ``sat.rotation_slots``, ``recovery.delay_slots``.  Gauges
     (sampled every ``sample_every`` slots): ``ring.members`` and
     per-station/per-queue ``station.queue_depth``.
@@ -72,6 +74,8 @@ class NetworkMetricsSubscriber:
         self._sat_hop_lost = {}
         self._sat_stale = None
         self._fault_skipped = {}
+        self._gw_forwards = {}
+        self._gw_drops = {}
         # last ChannelStats totals already mirrored into counters
         self._phy_seen = {}
 
@@ -92,6 +96,8 @@ class NetworkMetricsSubscriber:
         sub(_ev.SatHopLost, self._on_sat_hop_lost)
         sub(_ev.SatStaleDiscarded, self._on_sat_stale)
         sub(_ev.FaultSkipped, self._on_fault_skipped)
+        sub(_ev.GatewayForward, self._on_gw_forward)
+        sub(_ev.GatewayDrop, self._on_gw_drop)
         sub(_ev.RingTick, self._on_tick)
         return self
 
@@ -139,6 +145,20 @@ class NetworkMetricsSubscriber:
         if counter is None:
             counter = self._fault_skipped[ev.kind] = self.registry.counter(
                 "fault.skipped", kind=ev.kind)
+        counter.inc()
+
+    def _on_gw_forward(self, ev) -> None:
+        counter = self._gw_forwards.get(ev.direction)
+        if counter is None:
+            counter = self._gw_forwards[ev.direction] = self.registry.counter(
+                "gw.forwards", direction=ev.direction)
+        counter.inc()
+
+    def _on_gw_drop(self, ev) -> None:
+        counter = self._gw_drops.get(ev.reason)
+        if counter is None:
+            counter = self._gw_drops[ev.reason] = self.registry.counter(
+                "gw.drops", reason=ev.reason)
         counter.inc()
 
     def _sync_channel_stats(self) -> None:

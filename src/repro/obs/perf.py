@@ -2,7 +2,8 @@
 
 ``python -m repro perf run`` executes a pinned benchmark suite — kernel
 event-stepping rate, saturated-ring tick rate, sweep throughput, fuzz
-cases/sec — and appends a machine-readable record to a ``BENCH_perf.json``
+cases/sec, multi-ring fabric tick rate — and appends a machine-readable
+record to a ``BENCH_perf.json``
 trajectory file.  ``python -m repro perf check`` compares the latest record
 against a baseline (an explicit baseline file, or the median of the earlier
 records in the same trajectory) and fails when any benchmark regressed by
@@ -120,11 +121,26 @@ def bench_fuzz_case_rate(quick: bool = False) -> float:
     return cases / (time.perf_counter() - start)
 
 
+def bench_fabric_tick_rate(quick: bool = False) -> float:
+    """Fabric slot-ticks/sec: a 4-ring chain co-simulated serially with
+    cross-ring CBR flows (trace off — measures the sync+exchange path)."""
+    from repro.fabric import FabricRunner, Topology
+
+    horizon = 300.0 if quick else 1200.0
+    topo = Topology(rings=4, ring_size=8, layout="chain", cross_flows=6,
+                    flow_period=40.0, horizon=horizon, seed=1)
+    start = time.perf_counter()
+    with FabricRunner(topo, mode="serial", trace=False) as runner:
+        runner.run()
+    return horizon / (time.perf_counter() - start)
+
+
 SUITE: Dict[str, Callable[[bool], float]] = {
     "kernel_step_rate": bench_kernel_step_rate,
     "ring_tick_rate": bench_ring_tick_rate,
     "sweep_throughput": bench_sweep_throughput,
     "fuzz_case_rate": bench_fuzz_case_rate,
+    "fabric_tick_rate": bench_fabric_tick_rate,
 }
 
 

@@ -239,3 +239,172 @@ class TestGatewayForwarding:
         engine.run(until=5000)
         assert net.metrics.deadlines.missed == 0
         assert net.metrics.deadlines.met > 50
+
+
+class TestGatewayEvents:
+    """The bridge speaks the typed event spine: every forward/drop/buffer
+    fact lands on the network's bus as gw.* events."""
+
+    def test_forward_events_both_directions(self):
+        from repro.events.types import GatewayForward
+
+        engine, net, lan, gw = bridge_setup()
+        got = []
+        net.events.subscribe(GatewayForward, got.append)
+        engine.run(until=10)
+        t0 = engine.now
+        gw.lan_ingress(LanPacket(src=50, dst=0,
+                                 service=ServiceClass.PREMIUM, created=t0),
+                       ring_dst=3)
+        gw.send_to_lan(src_station=3, lan_dst=51,
+                       service=ServiceClass.PREMIUM)
+        engine.run(until=300)
+        assert sorted({ev.direction for ev in got}) == \
+            ["lan_to_ring", "ring_to_lan"]
+        assert all(ev.gateway == gw.sid for ev in got)
+
+    def test_bounded_ingress_buffer_overflow(self):
+        from repro.events.types import GatewayBuffer, GatewayDrop
+
+        engine = Engine()
+        cfg = WRTRingConfig.homogeneous(range(5), l=2, k=2,
+                                        rap_enabled=False)
+        net = WRTRingNetwork(engine, list(range(5)), cfg)
+        lan = DiffservLAN(engine, capacity=4)
+        lan.attach_host(LanHost(50))
+        gw = Gateway(net, sid=0, lan=lan, buffer_limit=1)
+        drops, buffers = [], []
+        net.events.subscribe(GatewayDrop, drops.append)
+        net.events.subscribe(GatewayBuffer, buffers.append)
+        net.start()
+        lan.start()
+        first = gw.lan_ingress(LanPacket(src=50, dst=0,
+                                         service=ServiceClass.PREMIUM,
+                                         created=0.0), ring_dst=2)
+        second = gw.lan_ingress(LanPacket(src=50, dst=0,
+                                          service=ServiceClass.PREMIUM,
+                                          created=0.0), ring_dst=3)
+        assert first is not None and second is None
+        assert gw.ingress_attempts == 2
+        assert gw.ingress_drops == 1
+        assert [(ev.reason, ev.direction) for ev in drops] == \
+            [("overflow", "lan_to_ring")]
+        assert buffers[0].occupancy == 1 and buffers[0].capacity == 1
+
+    def test_buffer_limit_validation(self):
+        engine, net, lan, _ = bridge_setup()
+        with pytest.raises(ValueError):
+            Gateway(net, sid=1, lan=lan, buffer_limit=0)
+
+    def test_lan_queue_limit_overflow(self):
+        from repro.events.bus import EventBus
+        from repro.events.types import GatewayDrop
+
+        engine = Engine()
+        bus = EventBus()
+        lan = DiffservLAN(engine, capacity=1, queue_limit=2,
+                          events=bus, lan_id=-7)
+        lan.attach_host(LanHost(50))
+        drops = []
+        bus.subscribe(GatewayDrop, drops.append)
+        lan.start()
+        sent = [lan.send(LanPacket(src=9, dst=50,
+                                   service=ServiceClass.BEST_EFFORT,
+                                   created=0.0))
+                for _ in range(3)]
+        assert sent == [True, True, False]
+        assert lan.dropped == 1
+        assert drops[-1].reason == "overflow"
+        assert drops[-1].gateway == -7      # LAN-side label
+
+    def test_lan_ttl_expires_stale_queue_prefix(self):
+        from repro.events.bus import EventBus
+        from repro.events.types import GatewayDrop
+
+        engine = Engine()
+        bus = EventBus()
+        lan = DiffservLAN(engine, capacity=1, ttl=0.5, events=bus)
+        lan.attach_host(LanHost(50))
+        drops = []
+        bus.subscribe(GatewayDrop, drops.append)
+        lan.start()
+        for _ in range(4):
+            lan.send(LanPacket(src=9, dst=50,
+                               service=ServiceClass.BEST_EFFORT,
+                               created=0.0))
+        engine.run(until=3.0)
+        # the t=0 slot serves one packet; by the t=1 slot the other three
+        # have aged past the TTL and are expired as a queue prefix
+        assert len(lan.hosts[50].received) == 1
+        assert lan.dropped == 3
+        assert {ev.reason for ev in drops} == {"ttl"}
+
+    def test_lan_policy_validation(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            DiffservLAN(engine, queue_limit=0)
+        with pytest.raises(ValueError):
+            DiffservLAN(engine, ttl=0.0)
+
+
+class TestGatewayConservation:
+    def test_oracle_clean_after_mixed_traffic(self):
+        from repro.fuzz import PacketLedger, check_gateway_conservation
+
+        engine, net, lan, gw = bridge_setup()
+        ledger = PacketLedger(net)
+        engine.run(until=10)
+        t0 = engine.now
+        for i in range(5):
+            gw.lan_ingress(LanPacket(src=50, dst=0,
+                                     service=ServiceClass.PREMIUM,
+                                     created=t0), ring_dst=2 + (i % 3))
+        gw.send_to_lan(src_station=3, lan_dst=51,
+                       service=ServiceClass.PREMIUM)
+        # no such LAN host: the relay must be destroyed *and counted*
+        gw.send_to_lan(src_station=2, lan_dst=99,
+                       service=ServiceClass.BEST_EFFORT)
+        engine.run(until=400)
+        assert gw.relay_drops == 1
+        assert check_gateway_conservation([gw], ledger) == []
+
+    def test_oracle_counts_bounded_buffer_drops(self):
+        from repro.fuzz import PacketLedger, check_gateway_conservation
+
+        engine = Engine()
+        cfg = WRTRingConfig.homogeneous(range(5), l=2, k=2,
+                                        rap_enabled=False)
+        net = WRTRingNetwork(engine, list(range(5)), cfg)
+        lan = DiffservLAN(engine, capacity=4)
+        lan.attach_host(LanHost(50))
+        gw = Gateway(net, sid=0, lan=lan, buffer_limit=1)
+        ledger = PacketLedger(net)
+        net.start()
+        lan.start()
+        for _ in range(4):
+            gw.lan_ingress(LanPacket(src=50, dst=0,
+                                     service=ServiceClass.PREMIUM,
+                                     created=0.0), ring_dst=2)
+        engine.run(until=100)
+        assert gw.ingress_drops == 3
+        assert len(ledger.gateway_dropped) == 3
+        assert check_gateway_conservation([gw], ledger) == []
+
+    def test_obs_counters_mirror_bridge_traffic(self):
+        from repro.obs.integrate import attach_network_metrics
+        from repro.obs.registry import MetricsRegistry
+
+        engine, net, lan, gw = bridge_setup()
+        registry = MetricsRegistry(enabled=True)
+        attach_network_metrics(net, registry)
+        engine.run(until=10)
+        t0 = engine.now
+        gw.lan_ingress(LanPacket(src=50, dst=0,
+                                 service=ServiceClass.PREMIUM,
+                                 created=t0), ring_dst=3)
+        gw.send_to_lan(src_station=3, lan_dst=51,
+                       service=ServiceClass.PREMIUM)
+        engine.run(until=300)
+        snapshot = registry.snapshot()
+        assert snapshot["gw.forwards"]["direction=lan_to_ring"] == 1
+        assert snapshot["gw.forwards"]["direction=ring_to_lan"] == 1
