@@ -82,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "in [START, END) (optionally only on CODE); "
                           "repeatable")
     sim.add_argument("--check-invariants", action="store_true")
+    sim.add_argument("--kernel", choices=["scalar", "batched"],
+                     default=None,
+                     help="tick driver: 'scalar' (reference, one event per "
+                          "slot) or 'batched' (inline slot batching + "
+                          "analytic fast-forward; byte-identical output, "
+                          "see docs/KERNEL.md)")
     sim.add_argument("--timeline", type=str, default=None, metavar="OUT.json",
                      help="export a Chrome-trace/Perfetto timeline of the "
                           "run (SAT holds, RAP windows, slot occupancy, "
@@ -129,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     fab.add_argument("--seed", type=int, default=0)
     fab.add_argument("--mode", choices=["serial", "sharded"],
                      default="serial")
+    fab.add_argument("--kernel", choices=["scalar", "batched"],
+                     default="scalar",
+                     help="per-ring tick driver (see docs/KERNEL.md); "
+                          "applies to every shard in either mode")
     fab.add_argument("--parity", action="store_true",
                      help="run BOTH modes and verify byte-identical merged "
                           "traces and tables")
@@ -373,9 +383,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.scenarios import MobilitySpec, Scenario, TrafficMix
 
     if args.config is not None:
+        from dataclasses import replace
+
         from repro.config_io import load_scenario
-        payload = _run_observed(load_scenario(args.config),
-                                args.timeline, args.metrics)
+        scenario = load_scenario(args.config)
+        if args.kernel is not None and args.kernel != scenario.kernel:
+            scenario = replace(scenario, kernel=args.kernel)
+        payload = _run_observed(scenario, args.timeline, args.metrics)
         _emit(payload, args.json)
         return 0
 
@@ -403,6 +417,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         faults=schedule if schedule.events else None,
         impairments=_parse_impairments(args),
         check_invariants=args.check_invariants,
+        kernel=args.kernel or "scalar",
         horizon=args.horizon, seed=args.seed)
     payload = _run_observed(scenario, args.timeline, args.metrics)
     _emit(payload, args.json)
@@ -443,7 +458,8 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
 
     def execute(mode):
         with FabricRunner(topo, mode=mode, trace=trace,
-                          observe=args.metrics) as runner:
+                          observe=args.metrics,
+                          kernel=args.kernel) as runner:
             runner.run()
             return runner.result(include_trace=trace)
 

@@ -66,6 +66,10 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
             "neighbours_only": scenario.traffic.neighbours_only,
         },
     }
+    if scenario.kernel != "scalar":
+        # emitted only when non-default so existing configs, corpus bundles
+        # and campaign-store keys keep their exact historical shape
+        out["kernel"] = scenario.kernel
     if scenario.quotas is not None:
         out["quotas"] = {str(sid): [q.l, q.k1, q.k2]
                          for sid, q in scenario.quotas.items()}
@@ -91,7 +95,8 @@ def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
     kwargs: Dict[str, Any] = {}
     for key in ("n", "placement", "radius", "range_margin", "l", "k",
                 "rap_enabled", "t_ear", "t_update", "use_channel",
-                "validate_phy", "check_invariants", "horizon", "seed"):
+                "validate_phy", "check_invariants", "horizon", "seed",
+                "kernel"):
         if key in data:
             kwargs[key] = data[key]
 
@@ -126,8 +131,9 @@ def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
     unknown = set(data) - {"n", "placement", "radius", "range_margin",
                            "arena", "l", "k", "rap_enabled", "t_ear",
                            "t_update", "use_channel", "validate_phy",
-                           "check_invariants", "horizon", "seed", "traffic",
-                           "quotas", "mobility", "faults", "impairments"}
+                           "check_invariants", "horizon", "seed", "kernel",
+                           "traffic", "quotas", "mobility", "faults",
+                           "impairments"}
     if unknown:
         raise ValueError(f"unknown scenario keys: {sorted(unknown)}")
     return Scenario(**kwargs)

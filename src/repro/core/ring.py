@@ -146,7 +146,13 @@ class WRTRingNetwork:
         self.network_down = False
         self.started = False
         self._tick_handle = None
+        #: alternative tick callback (installed by the batched kernel before
+        #: :meth:`start`); ``None`` runs the reference scalar :meth:`_tick`
+        self.tick_driver: Optional[Callable[[], None]] = None
         self._tick_hooks: List[Callable[[float], None]] = []
+        # the ring defines the slot grid: snap schedule times that drifted
+        # off it by float accumulation (see Engine.snap_to_grid)
+        engine.slot_quantum = 1.0
         self._frame_handlers: Dict[int, Callable[[Frame, float], None]] = {}
         self._delivery_callbacks: Dict[int, Callable[[Packet, float], None]] = {}
 
@@ -260,7 +266,8 @@ class WRTRingNetwork:
         self.sat.at_station = first
         self.stations[first].on_sat_arrival(self.engine.now)
         self.recovery.arm_all()
-        self._tick_handle = self.engine.schedule(0.0, self._tick, priority=5)
+        driver = self.tick_driver if self.tick_driver is not None else self._tick
+        self._tick_handle = self.engine.schedule(0.0, driver, priority=5)
 
     def stop(self) -> None:
         if self._tick_handle is not None:
@@ -411,13 +418,24 @@ class WRTRingNetwork:
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         t = self.engine.now
+        if self._tick_body(t):
+            self._tick_handle = self.engine.schedule(1.0, self._tick, priority=5)
+
+    def _tick_body(self, t: float) -> bool:
+        """One slot's worth of protocol work at time ``t``.
+
+        Returns False when the network is down (no further ticks should be
+        scheduled).  Split out from :meth:`_tick` so an alternative tick
+        driver (see :mod:`repro.kernel`) can run slot bodies without going
+        through the agenda for every slot.
+        """
         for hook in self._tick_hooks:
             hook(t)
         self._ev_tick(t)
 
         if self.network_down:
             self._flush_channel(t)
-            return  # no further ticks
+            return False  # no further ticks
 
         if self.rebuilding_until is not None:
             if t >= self.rebuilding_until:
@@ -435,7 +453,7 @@ class WRTRingNetwork:
                     self.join_manager.on_rap_end(t)
 
         self._flush_channel(t)
-        self._tick_handle = self.engine.schedule(1.0, self._tick, priority=5)
+        return True
 
     def _flush_channel(self, t: float) -> None:
         if self.channel is None:

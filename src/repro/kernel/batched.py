@@ -1,0 +1,264 @@
+"""Batched stepping driver with analytic fast-forward.
+
+The scalar reference path schedules one agenda event per slot and walks every
+station each tick.  :class:`BatchedKernel` replaces the tick *driver* (not the
+protocol): one agenda callback advances many slots inline, and provably
+quiescent stretches — nothing buffered anywhere, the SAT circulating a fully
+alive ring, no timer or traffic event due, no RAP/channel/impairment machinery
+armed — are fast-forwarded analytically instead of simulated slot by slot.
+
+Equivalence is structural, not aspirational:
+
+* Non-quiescent slots run the *same* ``WRTRingNetwork._tick_body`` as the
+  scalar path, in the same order, at the same times; the only difference is
+  how the next slot is reached (``Engine.advance_to`` instead of a heap
+  push/pop per slot).
+* While any SAT event has a subscriber (every traced run), fast-forward
+  synthesizes each skipped hop by running the real ``_sat_step`` at the real
+  hop time — the emitted event stream is byte-identical by construction.
+* Only when no SAT emitter is live (trace-off fabric shards, perf harnesses)
+  does the jump collapse into the closed-form column update from
+  :mod:`repro.kernel.columns` — the big win the ``batched_tick_rate``
+  benchmark measures.
+* Runs driven with ``max_events`` budgets fall back to exactly one slot per
+  agenda event so budget chunk boundaries keep their scalar meaning.
+
+``events_executed`` is the one engine statistic allowed to differ (fewer
+agenda dispatches is the whole point); every protocol-visible output —
+traces, tables, summaries — must match byte for byte.  See docs/KERNEL.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.sat import SAT
+from repro.events.types import (PacketEnqueued, PacketLost, PacketOrphaned,
+                                SlotDeliver)
+from repro.kernel.columns import ColumnState, hop_plan
+
+__all__ = ["BatchedKernel", "install_batched_kernel"]
+
+
+def install_batched_kernel(net) -> "BatchedKernel":
+    """Install a batched tick driver on ``net`` (before ``net.start()``)."""
+    return BatchedKernel(net)
+
+
+class BatchedKernel:
+    """Drives a :class:`~repro.core.ring.WRTRingNetwork` in batched mode."""
+
+    def __init__(self, net) -> None:
+        if net.started:
+            raise RuntimeError(
+                "install the batched kernel before network start()")
+        if net.tick_driver is not None:
+            raise RuntimeError("a tick driver is already installed")
+        self.net = net
+        self.engine = net.engine
+        self.columns = ColumnState(net)
+        #: packets accepted into any MAC queue and not yet delivered/lost —
+        #: maintained from the event spine, so it is exact whenever every
+        #: packet exit emits (the invariant the spine already guarantees);
+        #: paths that strand packets (e.g. a killed station before cut-out)
+        #: only ever over-count, which disables fast-forward, never corrupts it
+        self.buffered = 0
+        #: fast-forward telemetry (for tests and perf analysis)
+        self.ff_jumps = 0
+        self.ff_slots_skipped = 0
+        net.tick_driver = self._drive
+        bus = net.events
+        bus.subscribe(PacketEnqueued, self._on_packet_in)
+        bus.subscribe(SlotDeliver, self._on_packet_out)
+        bus.subscribe(PacketLost, self._on_packet_out)
+        bus.subscribe(PacketOrphaned, self._on_packet_out)
+
+    # ------------------------------------------------------------------
+    def _on_packet_in(self, _ev) -> None:
+        self.buffered += 1
+
+    def _on_packet_out(self, _ev) -> None:
+        self.buffered -= 1
+
+    # ------------------------------------------------------------------
+    # the tick driver
+    # ------------------------------------------------------------------
+    def _drive(self) -> None:
+        """One agenda dispatch: run slot bodies inline until an agenda event
+        (timer, traffic arrival, fault), the run window edge, or a budget
+        boundary forces control back to the engine loop."""
+        net = self.net
+        eng = self.engine
+        while True:
+            t = eng.now
+            if not net._tick_body(t):
+                return  # network down: no further ticks (scalar behaviour)
+            nxt = t + 1.0
+            until = eng.run_until
+            if (until is not None and not eng.run_budgeted
+                    and not eng.stopped and self._quiescent(t)):
+                nxt = self._fast_forward(t, until)
+            if eng.stopped or eng.run_budgeted or (until is not None
+                                                   and nxt > until):
+                break
+            pending = eng.peek()
+            if pending is not None and pending <= nxt:
+                break
+            eng.advance_to(nxt)
+        net._tick_handle = eng.schedule_at(nxt, self._drive, priority=5)
+
+    # ------------------------------------------------------------------
+    # quiescence
+    # ------------------------------------------------------------------
+    def _quiescent(self, t: float) -> bool:
+        """True when every slot from ``t+1`` on is provably a no-op apart
+        from SAT circulation over a fully alive, satisfied ring."""
+        net = self.net
+        if self.buffered != 0:
+            return False
+        # tick-observable machinery: per-tick hooks (backlog traffic,
+        # mobility), RingTick subscribers (invariant checkers, probes) and
+        # occupancy sampling all see every slot — cannot skip any
+        if net._tick_hooks or net._ev_tick or net._ev_occupancy:
+            return False
+        if net.channel is not None or net.impairments is not None:
+            return False
+        cfg = net.config
+        if cfg.rap_enabled or cfg.enforce_radio_links:
+            return False
+        if (net.network_down or net.rebuilding_until is not None
+                or t < net.pause_until):
+            return False
+        sat = net.sat
+        if (net._sat_lost or sat.kind != SAT.NORMAL or sat.rap_mutex
+                or not sat.in_flight):
+            return False
+        if not float(t).is_integer():
+            return False  # ticks live on the integer grid; be conservative
+        stations = net.stations
+        for sid in net.order:
+            st = stations[sid]
+            if not st.alive or st.leaving:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # analytic fast-forward
+    # ------------------------------------------------------------------
+    def _fast_forward(self, t: float, until: float) -> float:
+        """Skip the quiescent slots after ``t``; return the next tick time.
+
+        Slots ``t+1 .. t+T`` are provably no-ops except for SAT hand-offs,
+        where ``T`` is bounded by the run window (ticks after ``until`` never
+        run) and by the next live agenda event (a timer or traffic arrival
+        may change the world, so no skipped slot may lie at or beyond it).
+        The skipped hand-offs are synthesized exactly; the resume tick is
+        ``t + T + 1`` — the same pending-tick position the scalar path
+        would reach.
+        """
+        eng = self.engine
+        net = self.net
+        ti = int(t)
+        T = int(math.floor(until)) - ti
+        horizon_event = eng.peek()
+        if horizon_event is not None:
+            # the last whole tick strictly before the event
+            T = min(T, int(math.ceil(horizon_event)) - 1 - ti)
+        if T < 2:
+            return t + 1.0  # nothing worth skipping
+
+        sat = net.sat
+        h = float(net.config.sat_hop_slots)
+        a0 = sat.arrival_time   # hop j lands at a0 + j*h
+        t_stop = float(ti + T)
+        K = 0 if a0 > t_stop else int((t_stop - a0) // h) + 1
+
+        self.ff_jumps += 1
+        self.ff_slots_skipped += T - 1
+
+        if K == 0:
+            return t_stop + 1.0
+        if (net._ev_sat_release or net._ev_sat_rotation
+                or net._ev_sat_arrive):
+            return self._replay_hops(a0, h, K, t_stop)
+        self._bulk_hops(a0, h, K)
+        return t_stop + 1.0
+
+    def _replay_hops(self, a0: float, h: float, K: int,
+                     t_stop: float) -> float:
+        """Emitting path: run the real ``_sat_step`` at each hop time, so
+        subscribers (the trace adapter above all) observe the identical
+        event stream the scalar path would have produced."""
+        eng = self.engine
+        net = self.net
+        sat = net.sat
+        for j in range(K):
+            tau = a0 + j * h
+            eng.advance_to(tau)
+            net._sat_step(tau)
+            if (self.buffered or eng.stopped or net._sat_lost
+                    or not sat.in_flight or sat.kind != SAT.NORMAL):
+                # a subscriber perturbed the world mid-jump: resume normal
+                # ticking at the next slot, exactly where scalar would tick
+                return math.floor(eng.now) + 1.0
+        return t_stop + 1.0
+
+    def _bulk_hops(self, a0: float, h: float, K: int) -> None:
+        """Closed-form path (no SAT subscribers): apply the net effect of
+        ``K`` hand-offs with the columnar visit plan from
+        :func:`~repro.kernel.columns.hop_plan`."""
+        net = self.net
+        eng = self.engine
+        sat = net.sat
+        order = net.order
+        n = len(order)
+        i1 = net._pos[sat.in_flight_to]
+        s0 = sat.seq
+        hops0 = sat.hops
+        log = net.rotation_log
+        round_rotation = float(n) * h
+
+        offsets, counts, last_j = hop_plan(n, i1, K)
+        last_tau = a0 + last_j * h
+        last_seq = s0 + last_j
+
+        # per-station net effect of every visit in the window
+        visited = [(int(last_j[d]), int(d)) for d in range(n) if counts[d] > 0]
+        for _, d in visited:
+            sid = order[(i1 + d) % n]
+            st = net.stations[sid]
+            c = int(counts[d])
+            first_tau = a0 + d * h
+            if st.last_sat_arrival is not None:
+                log.add(sid, first_tau - st.last_sat_arrival)
+            for _ in range(c - 1):
+                log.add(sid, round_rotation)
+            st.sat_visits += c
+            st.last_sat_arrival = float(last_tau[d])
+            st.last_sat_departure = float(last_tau[d])
+            st.last_sat_seq = int(last_seq[d])
+            st.rt_pck = 0
+            st.nrt_pck = 0
+            st.as_pck = 0
+            st.be_pck = 0
+
+        # completed rounds: hops landing on order[0]
+        first_round_hop = (n - i1) % n
+        for j in range(first_round_hop, K, n):
+            sat.rounds += 1
+            log.mark_round(hops0 + j + 1)
+
+        # each visited station's SAT_TIMER was restarted at every release;
+        # only the final restart survives — rearm once, in release order,
+        # at the exact deadline the scalar path would have left armed
+        for _, d in sorted(visited):
+            eng.advance_to(float(last_tau[d]))
+            net.recovery.restart_timer(order[(i1 + d) % n])
+
+        sat.hops = hops0 + K
+        sat.seq = s0 + K
+        net._sat_seq = s0 + K
+        sat.at_station = None
+        sat.in_flight_to = order[(i1 + K) % n]
+        sat.arrival_time = a0 + (K - 1) * h + h

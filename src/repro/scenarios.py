@@ -108,8 +108,15 @@ class Scenario:
     check_invariants: bool = False
     horizon: float = 10_000.0
     seed: int = 0
+    #: tick driver: "scalar" (reference, one agenda event per slot) or
+    #: "batched" (repro.kernel: inline slot batching + analytic fast-forward,
+    #: byte-identical outputs enforced by the kernel-parity harness)
+    kernel: str = "scalar"
 
     def __post_init__(self) -> None:
+        if self.kernel not in ("scalar", "batched"):
+            raise ValueError(f"unknown kernel {self.kernel!r} "
+                             "(expected 'scalar' or 'batched')")
         if self.n < 2:
             raise ValueError(f"need at least 2 stations, got {self.n}")
         if self.placement not in ("circle", "uniform"):
@@ -335,6 +342,12 @@ def build_scenario(scenario: Scenario) -> ScenarioResult:
     workload = _attach_traffic(scenario, net, streams)
     if scenario.faults is not None:
         scenario.faults.attach(net)
+
+    if scenario.kernel == "batched":
+        # must be installed before start(): the kernel replaces the tick
+        # driver and needs to see every packet-entry event from slot 0
+        from repro.kernel import install_batched_kernel
+        install_batched_kernel(net)
 
     net.start()
     return ScenarioResult(scenario=scenario, engine=engine, network=net,

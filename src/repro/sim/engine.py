@@ -9,6 +9,12 @@ time fire in ascending priority, ties broken by scheduling order.  This gives
 deterministic, reproducible runs — a hard requirement for validating the
 paper's worst-case bounds, where a single out-of-order tie can change a
 measured rotation time by a slot.
+
+Cancellation is O(1) (heap entries are tombstoned), but tombstones no longer
+linger: the engine counts them and lazily compacts the heap when they
+outnumber the live events, so :meth:`Engine.pending_count` is O(1) and
+:meth:`Engine.peek` reflects live events only — both are load-bearing for the
+batched kernel's quiescence test (see :mod:`repro.kernel`).
 """
 
 from __future__ import annotations
@@ -20,6 +26,9 @@ from repro.events.bus import EventBus
 from repro.events.types import EngineRunWindow
 
 __all__ = ["Engine", "EventHandle", "SimulationError", "SchedulingError"]
+
+#: below this agenda size compaction is not worth the heapify
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
@@ -35,27 +44,34 @@ class EventHandle:
 
     Returned by :meth:`Engine.schedule` / :meth:`Engine.schedule_at`.  Calling
     :meth:`cancel` prevents the callback from running; cancellation is O(1)
-    (the heap entry is tombstoned, not removed).
+    (the heap entry is tombstoned, not removed) and idempotent.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "engine")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 callback: Callable[..., Any], args: tuple):
+                 callback: Callable[..., Any], args: tuple,
+                 engine: "Optional[Engine]" = None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.engine = engine
 
     def cancel(self) -> None:
         """Tombstone this event; a cancelled event never fires."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled events pinned in the heap do not keep
         # large object graphs alive.
         self.callback = _noop
         self.args = ()
+        if self.engine is not None:
+            self.engine._note_cancelled()
 
     def __lt__(self, other: "EventHandle") -> bool:  # heapq tie-breaking
         return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
@@ -89,9 +105,23 @@ class Engine:
         self.now: float = 0.0
         self._agenda: list[EventHandle] = []
         self._seq: int = 0
+        self._cancelled: int = 0
         self._running: bool = False
         self._stopped: bool = False
         self.events_executed: int = 0
+        #: slot-grid quantum for schedule-time snapping.  ``None`` (default)
+        #: keeps exact float semantics; the ring sets it to its slot time so
+        #: chained fractional delays cannot drift off the slot grid (which
+        #: would break the exact time comparisons fast-forward relies on).
+        self.slot_quantum: Optional[float] = None
+        #: the ``until`` bound of the currently executing :meth:`run`
+        #: (``None`` outside run() or for an unbounded run)
+        self.run_until: Optional[float] = None
+        #: True while the currently executing :meth:`run` has a
+        #: ``max_events`` budget — consumers that batch multiple logical
+        #: steps per callback must fall back to one-event-per-step so the
+        #: budget keeps its exact meaning
+        self.run_budgeted: bool = False
         #: kernel-side event bus: subscribing
         #: :class:`~repro.events.types.EngineRunWindow` (see
         #: ``repro.obs.integrate.attach_run_profiling``) records every
@@ -107,6 +137,21 @@ class Engine:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    @staticmethod
+    def snap_to_grid(time: float, quantum: float = 1.0,
+                     eps: float = 1e-9) -> float:
+        """Snap ``time`` to the nearest multiple of ``quantum`` when it is
+        within ``eps`` (absolute) of one; off-grid times pass through.
+
+        Accumulated float error from chained fractional delays is a few ulp
+        per slot (< 1e-9 for clocks up to ~1e6 slots), while genuinely
+        fractional event times (channel delays, Poisson arrivals) sit far
+        from the grid — so an absolute epsilon separates the two cleanly.
+        """
+        k = round(time / quantum)
+        snapped = k * quantum
+        return snapped if abs(time - snapped) <= eps else time
+
     def schedule(self, delay: float, callback: Callable[..., Any],
                  *args: Any, priority: int = 0) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
@@ -117,15 +162,32 @@ class Engine:
     def schedule_at(self, time: float, callback: Callable[..., Any],
                     *args: Any, priority: int = 0) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        quantum = self.slot_quantum
+        if quantum is not None:
+            time = self.snap_to_grid(time, quantum)
         if time < self.now:
             raise SchedulingError(
                 f"cannot schedule at {time!r}; current time is {self.now!r}")
         if not callable(callback):
             raise SchedulingError(f"callback {callback!r} is not callable")
         self._seq += 1
-        handle = EventHandle(time, priority, self._seq, callback, args)
+        handle = EventHandle(time, priority, self._seq, callback, args, self)
         heapq.heappush(self._agenda, handle)
         return handle
+
+    # ------------------------------------------------------------------
+    # agenda hygiene
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """A live agenda entry was tombstoned; compact when dead entries
+        outnumber live ones (amortised O(1) per cancellation)."""
+        self._cancelled += 1
+        agenda = self._agenda
+        if len(agenda) >= _COMPACT_MIN and self._cancelled * 2 > len(agenda):
+            # in-place so aliases held by a running run() loop stay valid
+            agenda[:] = [h for h in agenda if not h.cancelled]
+            heapq.heapify(agenda)
+            self._cancelled = 0
 
     # ------------------------------------------------------------------
     # execution
@@ -135,6 +197,7 @@ class Engine:
         agenda = self._agenda
         while agenda and agenda[0].cancelled:
             heapq.heappop(agenda)
+            self._cancelled -= 1
         return agenda[0].time if agenda else None
 
     def step(self) -> bool:
@@ -143,12 +206,32 @@ class Engine:
         while agenda:
             handle = heapq.heappop(agenda)
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = handle.time
             self.events_executed += 1
+            # mark consumed so a late cancel() of this handle is a no-op and
+            # cannot corrupt the tombstone count
+            handle.cancelled = True
             handle.callback(*handle.args)
             return True
         return False
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` without executing anything.
+
+        Only valid when no pending event lies strictly before ``time`` —
+        advancing past live events would strand them in the past.  Used by
+        the batched kernel to jump over analytically quiescent stretches.
+        """
+        if time < self.now:
+            raise SchedulingError(
+                f"cannot advance to {time!r}; current time is {self.now!r}")
+        nxt = self.peek()
+        if nxt is not None and nxt < time:
+            raise SimulationError(
+                f"cannot advance to {time!r} past pending event at {nxt!r}")
+        self.now = time
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the agenda drains, ``until`` is reached, or ``max_events`` fire.
@@ -167,6 +250,8 @@ class Engine:
             raise SchedulingError(f"until={until!r} is in the past (now={self.now!r})")
         self._running = True
         self._stopped = False
+        self.run_until = until
+        self.run_budgeted = max_events is not None
         executed = 0
         agenda = self._agenda
         emit_run = self._ev_run
@@ -179,6 +264,7 @@ class Engine:
                 handle = agenda[0]
                 if handle.cancelled:
                     heapq.heappop(agenda)
+                    self._cancelled -= 1
                     continue
                 if until is not None and handle.time > until:
                     break
@@ -188,9 +274,12 @@ class Engine:
                 self.now = handle.time
                 self.events_executed += 1
                 executed += 1
+                handle.cancelled = True   # consumed; late cancel() is a no-op
                 handle.callback(*handle.args)
         finally:
             self._running = False
+            self.run_until = None
+            self.run_budgeted = False
             if emit_run:
                 emit_run(self.now, wall_start,
                          _time.perf_counter() - wall_start,
@@ -204,12 +293,17 @@ class Engine:
         """Stop a running :meth:`run` after the current event completes."""
         self._stopped = True
 
+    @property
+    def stopped(self) -> bool:
+        """True when :meth:`stop` ended (or is ending) the current run."""
+        return self._stopped
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events in the agenda. O(n)."""
-        return sum(1 for h in self._agenda if not h.cancelled)
+        """Number of live (non-cancelled) events in the agenda. O(1)."""
+        return len(self._agenda) - self._cancelled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Engine now={self.now} pending={len(self._agenda)}>"
+        return f"<Engine now={self.now} pending={self.pending_count()}>"

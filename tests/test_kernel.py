@@ -1,0 +1,257 @@
+"""Unit tests for the batched kernel: columns, hop planning, fast-forward
+boundaries, and budget/stop interactions.
+
+The differential suite (test_kernel_parity.py) proves whole-run equivalence;
+these tests pin the individual mechanisms — so a parity failure elsewhere can
+be localized instead of bisected.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (Packet, ServiceClass, WRTRingConfig, WRTRingNetwork)
+from repro.kernel import (BatchedKernel, ColumnState, hop_plan,
+                          install_batched_kernel)
+from repro.sim import Engine
+
+
+def make_net(n=5, l=2, k=2, **cfg_kwargs):
+    engine = Engine()
+    cfg_kwargs.setdefault("rap_enabled", False)
+    cfg = WRTRingConfig.homogeneous(range(n), l=l, k=k, **cfg_kwargs)
+    net = WRTRingNetwork(engine, list(range(n)), cfg)
+    return engine, net
+
+
+def make_pair(n=5, l=2, k=2, **cfg_kwargs):
+    """Two identical networks: (scalar engine/net, batched engine/net/kernel)."""
+    se, sn = make_net(n, l, k, **cfg_kwargs)
+    be, bn = make_net(n, l, k, **cfg_kwargs)
+    kern = install_batched_kernel(bn)
+    return (se, sn), (be, bn, kern)
+
+
+def pkt(src, dst, service=ServiceClass.PREMIUM, created=0.0, deadline=None):
+    return Packet(src=src, dst=dst, service=service, created=created,
+                  deadline=deadline)
+
+
+def snapshot(net):
+    """Every protocol-visible scalar of the network, for exact comparison."""
+    sat = net.sat
+    state = {
+        "now": net.engine.now,
+        "sat": (sat.kind, sat.at_station, sat.in_flight_to, sat.arrival_time,
+                sat.hops, sat.rounds, sat.seq),
+        "net_seq": net._sat_seq,
+        "hops_per_round": net.rotation_log.hops_per_round(),
+    }
+    for sid in sorted(net.stations):
+        st = net.stations[sid]
+        state[sid] = (st.alive, st.sat_visits, st.sat_holds, st.last_sat_seq,
+                      st.last_sat_arrival, st.last_sat_departure,
+                      st.rt_pck, st.nrt_pck, st.as_pck, st.be_pck,
+                      dict(st.sent), dict(st.received),
+                      net.rotation_log.samples(sid))
+    return state
+
+
+def timer_deadlines(net):
+    return {sid: t.deadline if t.running else None
+            for sid, t in net.recovery.timers.items()}
+
+
+# ======================================================================
+class TestHopPlan:
+    """hop_plan's closed-form visit counts vs a brute-force walk."""
+
+    @pytest.mark.parametrize("n,i1,K", [
+        (1, 0, 1), (1, 0, 7),
+        (3, 0, 1), (3, 2, 2), (3, 1, 9),
+        (5, 0, 5), (5, 3, 17), (5, 4, 4),
+        (16, 7, 1000), (16, 0, 16), (16, 15, 15),
+    ])
+    def test_matches_brute_force(self, n, i1, K):
+        offsets, counts, last_j = hop_plan(n, i1, K)
+        brute_counts = [0] * n
+        brute_last = [-1] * n
+        for j in range(K):
+            d = j % n
+            brute_counts[d] += 1
+            brute_last[d] = j
+        assert list(offsets) == list(range(n))
+        assert list(counts) == brute_counts
+        assert list(last_j) == brute_last
+
+    def test_total_visits_is_k(self):
+        _, counts, _ = hop_plan(7, 3, 123)
+        assert int(counts.sum()) == 123
+
+
+# ======================================================================
+class TestColumnState:
+    def test_round_trip_after_scalar_run(self):
+        engine, net = make_net(6)
+        net.start()
+        net.enqueue(pkt(0, 3))
+        engine.run(until=100.0)
+        cols = ColumnState(net)
+        cols.sync_from_network()
+        assert cols.verify_against(net) == []
+
+    def test_verify_catches_corruption(self):
+        engine, net = make_net(4)
+        net.start()
+        engine.run(until=50.0)
+        cols = ColumnState(net)
+        cols.sync_from_network()
+        cols.sat_visits[2] += 1
+        mismatches = cols.verify_against(net)
+        assert mismatches and any("sat_visits" in m for m in mismatches)
+
+
+# ======================================================================
+class TestInstallation:
+    def test_install_after_start_rejected(self):
+        engine, net = make_net(4)
+        net.start()
+        with pytest.raises(RuntimeError):
+            install_batched_kernel(net)
+
+    def test_double_install_rejected(self):
+        engine, net = make_net(4)
+        install_batched_kernel(net)
+        with pytest.raises(RuntimeError):
+            install_batched_kernel(net)
+
+
+# ======================================================================
+class TestFastForward:
+    def test_idle_ring_fast_forwards(self):
+        engine, net = make_net(8)
+        kern = install_batched_kernel(net)
+        net.start()
+        engine.run(until=5000.0)
+        assert kern.ff_jumps > 0
+        assert kern.ff_slots_skipped > 0
+        assert engine.now == 5000.0
+
+    def test_idle_parity_with_scalar(self):
+        (se, sn), (be, bn, kern) = make_pair(8)
+        sn.start(); bn.start()
+        se.run(until=5000.0); be.run(until=5000.0)
+        assert snapshot(bn) == snapshot(sn)
+        assert timer_deadlines(bn) == timer_deadlines(sn)
+
+    def test_multi_slot_hop_parity(self):
+        # SAT hop latency > 1 slot: hop times stride the slot grid
+        (se, sn), (be, bn, kern) = make_pair(6, sat_hop_slots=3)
+        sn.start(); bn.start()
+        se.run(until=4000.0); be.run(until=4000.0)
+        assert kern.ff_jumps > 0
+        assert snapshot(bn) == snapshot(sn)
+        assert timer_deadlines(bn) == timer_deadlines(sn)
+
+    def test_jump_never_crosses_pending_event(self):
+        # an agenda event mid-gap (a traffic arrival) bounds every jump:
+        # the skipped range must end strictly before it
+        engine, net = make_net(6)
+        kern = install_batched_kernel(net)
+        seen = []
+        net.start()
+
+        def arrival():
+            seen.append(engine.now)
+            net.enqueue(pkt(2, 4, created=engine.now))
+
+        engine.schedule_at(777.25, arrival)
+        engine.run(until=2000.0)
+        assert seen == [777.25]
+        delivered = net.stations[4].received[ServiceClass.PREMIUM]
+        assert delivered == 1
+        assert kern.buffered == 0
+        assert engine.now == 2000.0
+
+    def test_mid_gap_enqueue_parity(self):
+        (se, sn), (be, bn, kern) = make_pair(6)
+        for eng, net in ((se, sn), (be, bn)):
+            net.start()
+            eng.schedule_at(
+                777.25,
+                lambda n=net, e=eng: n.enqueue(pkt(2, 4, created=e.now)))
+            eng.run(until=2000.0)
+        assert snapshot(bn) == snapshot(sn)
+
+    def test_fractional_until_clamps_identically(self):
+        (se, sn), (be, bn, kern) = make_pair(8)
+        sn.start(); bn.start()
+        se.run(until=1234.5); be.run(until=1234.5)
+        assert se.now == be.now == 1234.5
+        assert snapshot(bn) == snapshot(sn)
+
+    def test_resume_across_run_chunks(self):
+        # state must survive run() returning and being called again —
+        # the pending tick left behind by a jump is where scalar would be
+        (se, sn), (be, bn, kern) = make_pair(6)
+        sn.start(); bn.start()
+        for upto in (300.0, 301.0, 950.5, 2000.0):
+            se.run(until=upto); be.run(until=upto)
+            assert snapshot(bn) == snapshot(sn), f"diverged at until={upto}"
+
+    def test_saturated_ring_never_fast_forwards(self):
+        engine, net = make_net(4, l=1, k=1)
+        kern = install_batched_kernel(net)
+        net.start()
+        for sid in range(4):
+            for _ in range(3):
+                net.enqueue(pkt(sid, (sid + 1) % 4,
+                                service=ServiceClass.BEST_EFFORT))
+        engine.run(until=5.0)
+        assert kern.ff_jumps == 0
+
+
+# ======================================================================
+class TestBudgetAndStop:
+    def test_max_events_budget_matches_scalar_clock(self):
+        # budgeted runs must fall back to slot-at-a-time so chunk
+        # boundaries land exactly where the scalar driver puts them
+        (se, sn), (be, bn, kern) = make_pair(5)
+        sn.start(); bn.start()
+        for _ in range(40):
+            se.run(until=10_000.0, max_events=7)
+            be.run(until=10_000.0, max_events=7)
+            assert be.now == se.now
+        assert snapshot(bn) == snapshot(sn)
+
+    def test_budget_then_unbudgeted_resume(self):
+        (se, sn), (be, bn, kern) = make_pair(5)
+        sn.start(); bn.start()
+        se.run(until=10_000.0, max_events=13)
+        be.run(until=10_000.0, max_events=13)
+        se.run(until=800.0); be.run(until=800.0)
+        assert be.now == se.now == 800.0
+        assert snapshot(bn) == snapshot(sn)
+
+    def test_stop_mid_run_leaves_consistent_clock(self):
+        (se, sn), (be, bn, kern) = make_pair(5)
+        sn.start(); bn.start()
+        se.schedule_at(97.5, se.stop)
+        be.schedule_at(97.5, be.stop)
+        se.run(until=5000.0); be.run(until=5000.0)
+        assert be.now == se.now
+        assert snapshot(bn) == snapshot(sn)
+        # and both resume cleanly after the stop
+        se.run(until=500.0); be.run(until=500.0)
+        assert snapshot(bn) == snapshot(sn)
+
+    def test_jump_clock_is_exact_after_ff(self):
+        engine, net = make_net(8)
+        kern = install_batched_kernel(net)
+        net.start()
+        engine.run(until=3000.0)
+        assert kern.ff_jumps > 0
+        assert float(engine.now).is_integer() or engine.now == 3000.0
+        assert engine.now == 3000.0
+        # the SAT's bookkeeping is still on the hop lattice
+        assert net.sat.arrival_time == math.floor(net.sat.arrival_time)

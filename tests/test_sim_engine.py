@@ -239,6 +239,153 @@ class TestRun:
         assert eng.pending_count() == 1
 
 
+class TestAgendaHygiene:
+    """Cancelled tombstones must not distort introspection or linger."""
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        # regression: cancelled EventHandles lingered in the heap forever —
+        # 10k dead entries still occupied the agenda after cancellation
+        eng = Engine()
+        handles = [eng.schedule(float(i + 1), lambda: None)
+                   for i in range(10_000)]
+        keep = eng.schedule(20_000.0, lambda: None)
+        for h in handles:
+            h.cancel()
+        assert eng.pending_count() == 1
+        assert len(eng._agenda) < 5_000
+        assert eng.peek() == keep.time
+
+    def test_pending_count_is_constant_time(self):
+        # pending_count() used to scan the whole agenda per call
+        eng = Engine()
+        for i in range(100):
+            eng.schedule(float(i + 1), lambda: None)
+        h = eng.schedule(500.0, lambda: None)
+        assert eng.pending_count() == 101
+        h.cancel()
+        assert eng.pending_count() == 100
+        h.cancel()  # idempotent: must not decrement twice
+        assert eng.pending_count() == 100
+
+    def test_pending_count_tracks_mixed_fire_and_cancel(self):
+        import random
+
+        eng = Engine()
+        rng = random.Random(42)
+        handles = []
+        for i in range(400):
+            handles.append(eng.schedule(rng.uniform(1.0, 50.0), lambda: None))
+        for h in rng.sample(handles, 150):
+            h.cancel()
+        while eng.step():
+            naive = sum(1 for x in eng._agenda if not x.cancelled)
+            assert eng.pending_count() == naive
+        assert eng.pending_count() == 0
+
+    def test_cancel_own_handle_from_callback_is_noop(self):
+        eng = Engine()
+        box = {}
+
+        def fire():
+            box["h"].cancel()   # cancelling the in-flight event: no effect
+
+        box["h"] = eng.schedule(1.0, fire)
+        eng.schedule(2.0, lambda: None)
+        eng.run()
+        assert eng.pending_count() == 0
+
+    def test_compaction_during_run_keeps_order(self):
+        eng = Engine()
+        fired = []
+        handles = [eng.schedule(float(i + 100), fired.append, i)
+                   for i in range(500)]
+
+        def cancel_most():
+            for h in handles[50:]:
+                h.cancel()
+
+        eng.schedule(1.0, cancel_most)
+        eng.run()
+        assert fired == list(range(50))
+
+
+class TestSlotGridSnapping:
+    """Opt-in slot-grid snapping: chained fractional delays must not drift
+    off the integer slot grid (the ring sets ``slot_quantum`` on its engine;
+    a bare engine keeps exact float semantics)."""
+
+    def test_bare_engine_does_not_snap(self):
+        eng = Engine()
+        eng.schedule(0.9999999999, lambda: None)
+        eng.run()
+        assert eng.now == 0.9999999999
+
+    def test_snap_helper_10e6_slot_drift(self):
+        # 1/3 + 1/3 + 1/3 chained drifts off-grid from slot 2 without
+        # snapping (final error ~3e-6 over 1e6 slots); snapped it is exact
+        third = 1.0 / 3.0
+        snap = Engine.snap_to_grid
+        t = 0.0
+        for _ in range(1_000_000):
+            t = snap(snap(snap(t + third) + third) + third)
+        assert t == 1_000_000.0
+
+    def test_chained_fractional_schedules_stay_on_grid(self):
+        eng = Engine()
+        eng.slot_quantum = 1.0
+        third = 1.0 / 3.0
+        on_grid = []
+
+        def tick(step):
+            if step % 3 == 0:
+                on_grid.append(eng.now == float(step // 3))
+            if step < 30_000:
+                eng.schedule(third, tick, step + 1)
+
+        eng.schedule(0.0, tick, 0)
+        eng.run()
+        assert all(on_grid)
+        assert eng.now == 10_000.0
+
+    def test_off_grid_times_pass_through(self):
+        eng = Engine()
+        eng.slot_quantum = 1.0
+        times = []
+        eng.schedule(0.5, lambda: times.append(eng.now))
+        eng.schedule(1.25, lambda: times.append(eng.now))
+        eng.run()
+        assert times == [0.5, 1.25]
+
+
+class TestAdvanceTo:
+    def test_advance_to_moves_clock(self):
+        eng = Engine()
+        eng.schedule(10.0, lambda: None)
+        eng.advance_to(7.0)
+        assert eng.now == 7.0
+
+    def test_advance_to_past_rejected(self):
+        eng = Engine()
+        eng.schedule(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(SchedulingError):
+            eng.advance_to(4.0)
+
+    def test_advance_past_pending_event_rejected(self):
+        eng = Engine()
+        eng.schedule(3.0, lambda: None)
+        with pytest.raises(SimulationError):
+            eng.advance_to(5.0)
+
+    def test_advance_to_skips_cancelled_obstacle(self):
+        eng = Engine()
+        h = eng.schedule(3.0, lambda: None)
+        eng.schedule(9.0, lambda: None)
+        h.cancel()
+        eng.advance_to(5.0)
+        assert eng.now == 5.0
+
+
 class TestPropertyBased:
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
                               allow_nan=False, allow_infinity=False),
