@@ -53,14 +53,39 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--horizon", type=float, default=10_000.0)
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--traffic", choices=["none", "poisson", "cbr", "video",
-                                           "backlog"], default="poisson")
+                                           "backlog", "onoff", "voice"],
+                     default="poisson")
     sim.add_argument("--rate", type=float, default=0.05,
                      help="per-station rate for poisson traffic")
     sim.add_argument("--period", type=float, default=20.0,
                      help="period / frame interval for cbr/video")
+    sim.add_argument("--peak-rate", type=float, default=0.05,
+                     help="on-phase rate for onoff/voice traffic")
+    sim.add_argument("--mean-on", type=float, default=350.0,
+                     help="mean talkspurt length (slots) for onoff/voice")
+    sim.add_argument("--mean-off", type=float, default=650.0,
+                     help="mean silence length (slots) for onoff/voice")
     sim.add_argument("--service", choices=["premium", "assured", "be"],
                      default="premium")
     sim.add_argument("--deadline", type=float, default=None)
+    sim.add_argument("--calls", type=int, default=0, metavar="N",
+                     help="offer N voice calls over the run (QoE session "
+                          "layer: admission, per-call MOS; see docs/QOE.md)")
+    sim.add_argument("--call-rate", type=float, default=0.005,
+                     help="call arrival rate (calls/slot)")
+    sim.add_argument("--call-holding", type=float, default=2000.0,
+                     help="mean call holding time (slots)")
+    sim.add_argument("--call-deadline", type=float, default=150.0,
+                     help="per-packet delivery deadline for calls (slots)")
+    sim.add_argument("--call-mos-floor", type=float, default=3.5,
+                     help="MOS threshold a call must reach to count as good")
+    sim.add_argument("--call-video-fraction", type=float, default=0.0,
+                     help="fraction of sessions that are video streams")
+    sim.add_argument("--calls-via-rap", action="store_true",
+                     help="callers join the ring through RAP before talking "
+                          "(implies --rap and the broadcast channel)")
+    sim.add_argument("--no-call-admission", action="store_true",
+                     help="disable call-level CAC (measurement mode)")
     sim.add_argument("--rap", action="store_true",
                      help="enable the Random Access Period")
     sim.add_argument("--wander", type=float, default=0.0,
@@ -174,7 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="campaign master seed (per-point seeds derive "
                          "from it)")
     sw.add_argument("--traffic", choices=["none", "poisson", "cbr", "video",
-                                          "backlog", "saturate"],
+                                          "backlog", "saturate", "onoff",
+                                          "voice"],
                     default="poisson")
     sw.add_argument("--rate", type=float, default=0.05)
     sw.add_argument("--period", type=float, default=20.0)
@@ -406,12 +432,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         builder.leave(station, at=when)
     schedule = builder.build()
 
+    calls = None
+    if args.calls > 0:
+        from repro.qoe.sessions import CallsSpec
+        calls = CallsSpec(count=args.calls, arrival_rate=args.call_rate,
+                          mean_holding=args.call_holding,
+                          deadline=args.call_deadline,
+                          mos_floor=args.call_mos_floor,
+                          video_fraction=args.call_video_fraction,
+                          admission=not args.no_call_admission,
+                          join_via_rap=args.calls_via_rap)
+
     scenario = Scenario(
         n=args.n, l=args.l, k=args.k,
-        rap_enabled=args.rap,
+        rap_enabled=args.rap or args.calls_via_rap,
+        use_channel=args.calls_via_rap,
         traffic=TrafficMix(kind=args.traffic, rate=args.rate,
                            period=args.period, service=service,
-                           deadline=args.deadline),
+                           deadline=args.deadline,
+                           peak_rate=args.peak_rate, mean_on=args.mean_on,
+                           mean_off=args.mean_off),
+        calls=calls,
         mobility=(MobilitySpec(wander_radius=args.wander)
                   if args.wander > 0 else None),
         faults=schedule if schedule.events else None,

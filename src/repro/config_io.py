@@ -17,6 +17,7 @@ from repro.core.quotas import QuotaConfig
 from repro.faults import FaultEvent, FaultSchedule
 from repro.phy.geometry import Arena
 from repro.phy.impairments import ImpairmentSpec
+from repro.qoe.sessions import CallsSpec
 from repro.scenarios import MobilitySpec, Scenario, TrafficMix
 
 __all__ = ["scenario_to_dict", "scenario_from_dict",
@@ -66,10 +67,18 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
             "neighbours_only": scenario.traffic.neighbours_only,
         },
     }
+    if scenario.traffic.kind in ("onoff", "voice"):
+        # the talkspurt-shape keys matter only to these kinds; emitted
+        # conditionally so every other config keeps its historical shape
+        out["traffic"].update(peak_rate=scenario.traffic.peak_rate,
+                              mean_on=scenario.traffic.mean_on,
+                              mean_off=scenario.traffic.mean_off)
     if scenario.kernel != "scalar":
         # emitted only when non-default so existing configs, corpus bundles
         # and campaign-store keys keep their exact historical shape
         out["kernel"] = scenario.kernel
+    if scenario.calls is not None:
+        out["calls"] = scenario.calls.to_dict()
     if scenario.quotas is not None:
         out["quotas"] = {str(sid): [q.l, q.k1, q.k2]
                          for sid, q in scenario.quotas.items()}
@@ -128,12 +137,15 @@ def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
     if "impairments" in data and data["impairments"] is not None:
         kwargs["impairments"] = ImpairmentSpec.from_dict(data["impairments"])
 
+    if "calls" in data and data["calls"] is not None:
+        kwargs["calls"] = CallsSpec.from_dict(data["calls"])
+
     unknown = set(data) - {"n", "placement", "radius", "range_margin",
                            "arena", "l", "k", "rap_enabled", "t_ear",
                            "t_update", "use_channel", "validate_phy",
                            "check_invariants", "horizon", "seed", "kernel",
                            "traffic", "quotas", "mobility", "faults",
-                           "impairments"}
+                           "impairments", "calls"}
     if unknown:
         raise ValueError(f"unknown scenario keys: {sorted(unknown)}")
     return Scenario(**kwargs)

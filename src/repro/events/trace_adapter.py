@@ -47,6 +47,7 @@ _DIRECT = (
     T.RebuildStart, T.RebuildRetry, T.RebuildDone, T.RingDown,
     T.RapOpen, T.RapRequest,
     T.FrameDropped, T.SatHopLost, T.SatStaleDiscarded,
+    T.CallStarted, T.CallRefused, T.CallEnded, T.CallCut,
     T.CsmaCollision,
     T.TptKill, T.TptTokenLost, T.TptJoin, T.TptTimeout, T.TptTokenReissued,
     T.TptProbeLost, T.TptRebuildStart, T.TptDown, T.TptRebuildDone,

@@ -28,9 +28,11 @@ __all__ = ["FuzzCase", "generate_case"]
 CASE_SCHEMA = 2
 
 #: traffic kinds with generation weights; "saturate" and "backlog" keep the
-#: queues full (bound-stressing), "none" leaves the control plane alone
-_TRAFFIC_KINDS = (("poisson", 30), ("cbr", 20), ("backlog", 15),
-                  ("saturate", 10), ("video", 10), ("none", 15))
+#: queues full (bound-stressing), "none" leaves the control plane alone,
+#: "onoff"/"voice" drive the bursty talkspurt generators
+_TRAFFIC_KINDS = (("poisson", 25), ("cbr", 15), ("backlog", 15),
+                  ("saturate", 10), ("video", 10), ("onoff", 10),
+                  ("voice", 10), ("none", 15))
 _SERVICES = ("premium", "assured", "be")
 _FAULT_KINDS = ("kill", "leave", "drop_signal")
 
@@ -94,12 +96,33 @@ def generate_case(master_seed: int, index: int,
 
     faults: List[Dict[str, Any]] = []
     # station joins need the broadcast channel and the RAP machinery
-    if rng.random() < 0.25:
+    rap_drawn = rng.random() < 0.25
+    if rap_drawn:
         scenario["rap_enabled"] = True
         scenario["use_channel"] = True
         for j in range(rng.randint(1, 2)):
             faults.append({"time": round(rng.uniform(20.0, horizon * 0.7), 1),
                            "kind": "join", "station": 100 + j})
+
+    # call churn: the QoE session layer rides on top of whatever traffic
+    # the case already has — arrivals, CAC refusals, mid-call cuts from the
+    # fault schedule, RAP joins when the RAP block was drawn
+    if rng.random() < 0.15:
+        calls: Dict[str, Any] = {
+            "count": rng.randint(2, 8),
+            "arrival_rate": round(rng.uniform(0.002, 0.05), 4),
+            "mean_holding": float(rng.randint(200, 1500)),
+            "deadline": float(rng.randint(80, 400)),
+            # best_effort would reject the deadline at FlowSpec level
+            "service": rng.choice(("premium", "assured")),
+        }
+        if rng.random() < 0.3:
+            calls["video_fraction"] = round(rng.uniform(0.1, 0.9), 2)
+        if rng.random() < 0.3:
+            calls["admission"] = False
+        if rap_drawn and rng.random() < 0.5:
+            calls["join_via_rap"] = True
+        scenario["calls"] = calls
     # destructive dynamics, capped so most runs keep a viable ring
     for _ in range(rng.randint(0, min(4, n - 3))):
         kind = rng.choice(_FAULT_KINDS)
@@ -152,13 +175,18 @@ def _random_traffic(rng: random.Random) -> Dict[str, Any]:
     deadline = None
     if service != "be" and rng.random() < 0.4:
         deadline = float(rng.randint(50, 400))
-    return {"kind": kind,
-            "rate": round(rng.uniform(0.01, 0.25), 3),
-            "period": float(rng.randint(5, 40)),
-            "service": {"premium": "premium", "assured": "assured",
-                        "be": "best_effort"}[service],
-            "deadline": deadline,
-            "neighbours_only": rng.random() < 0.2}
+    traffic = {"kind": kind,
+               "rate": round(rng.uniform(0.01, 0.25), 3),
+               "period": float(rng.randint(5, 40)),
+               "service": {"premium": "premium", "assured": "assured",
+                           "be": "best_effort"}[service],
+               "deadline": deadline,
+               "neighbours_only": rng.random() < 0.2}
+    if kind in ("onoff", "voice"):
+        traffic["peak_rate"] = round(rng.uniform(0.02, 0.2), 3)
+        traffic["mean_on"] = float(rng.randint(50, 500))
+        traffic["mean_off"] = float(rng.randint(100, 900))
+    return traffic
 
 
 def _random_drive(rng: random.Random, horizon: float) -> List[Dict[str, Any]]:

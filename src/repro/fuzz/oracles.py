@@ -28,7 +28,7 @@ from repro.events.types import GatewayDrop, PacketEnqueued, RingTick
 
 __all__ = ["FuzzFailure", "ClockProbe", "PacketLedger",
            "check_conservation", "check_gateway_conservation",
-           "check_no_undeliverable",
+           "check_no_undeliverable", "check_refused_calls_silent",
            "check_rotation_bound", "rotation_bound_applies"]
 
 _EPS = 1e-9
@@ -243,6 +243,35 @@ def check_no_undeliverable(net, ledger: PacketLedger) -> List[FuzzFailure]:
                 f"circulate forever"))
             if len(failures) >= 5:
                 break
+    return failures
+
+
+def check_refused_calls_silent(sessions, ledger: PacketLedger
+                               ) -> List[FuzzFailure]:
+    """A refused call must be *silent*: admission happens before any source
+    is constructed, so none of its flow ids may appear on a ledger packet.
+    Flow ids are unique per FlowSpec, so matching them is exact."""
+    failures: List[FuzzFailure] = []
+    refused_flows: Dict[int, int] = {}    # flow_id -> call id
+    for call in sessions.calls:
+        if call.state == "refused":
+            if call.sources:
+                failures.append(FuzzFailure(
+                    "refused_call",
+                    f"refused call {call.cid} has {len(call.sources)} "
+                    f"traffic sources attached"))
+            for flow in call.flows:
+                refused_flows[flow.flow_id] = call.cid
+    if refused_flows:
+        for p in ledger.packets:
+            cid = refused_flows.get(p.flow_id)
+            if cid is not None:
+                failures.append(FuzzFailure(
+                    "refused_call",
+                    f"refused call {cid} contributed packet "
+                    f"{p.src}->{p.dst} to the ledger"))
+                if len(failures) >= 5:
+                    break
     return failures
 
 

@@ -26,6 +26,7 @@ from repro.core.invariants import InvariantViolation
 from repro.fuzz.generate import FuzzCase
 from repro.fuzz.oracles import (ClockProbe, FuzzFailure, PacketLedger,
                                 check_conservation, check_no_undeliverable,
+                                check_refused_calls_silent,
                                 check_rotation_bound, rotation_bound_applies)
 from repro.scenarios import ScenarioResult, build_scenario
 
@@ -108,6 +109,9 @@ def run_case(case: FuzzCase) -> FuzzResult:
         # end-of-run oracles assume the run reached its horizon
         failures.extend(check_conservation(net, ledger))
         failures.extend(check_no_undeliverable(net, ledger))
+        if built.sessions is not None:
+            failures.extend(check_refused_calls_silent(built.sessions,
+                                                       ledger))
         if rotation_bound_applies(net, case.scenario):
             failures.extend(check_rotation_bound(built))
 
@@ -125,6 +129,12 @@ def run_case(case: FuzzCase) -> FuzzResult:
     }
     if net.impairments is not None:
         stats["impairment_drops"] = net.impairments.drops
+    if built.sessions is not None:
+        counts = built.sessions.counts()
+        stats["calls_admitted"] = (counts["active"] + counts["ended"]
+                                   + counts["cut"])
+        stats["calls_refused"] = counts["refused"]
+        stats["calls_cut"] = counts["cut"]
     return FuzzResult(case=case, failures=failures,
                       trace_hash=hash_trace(built.trace),
                       events_executed=engine.events_executed,

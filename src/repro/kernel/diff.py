@@ -219,4 +219,15 @@ def seeded_grid() -> List[Scenario]:
         Scenario(n=8, traffic=TrafficMix(kind="none"), horizon=1234.5,
                  seed=21),
     ]
+    # voice sessions: call arrivals/teardowns scheduled at priority -1,
+    # CAC refusals, a mid-run kill cutting calls — the QoE layer must not
+    # perturb fast-forward boundaries
+    from repro.qoe.sessions import CallsSpec
+    grid.append(
+        Scenario(n=8, traffic=TrafficMix(kind="none"),
+                 calls=CallsSpec(count=5, arrival_rate=0.01,
+                                 mean_holding=800.0),
+                 faults=FaultSchedule([FaultEvent(time=1200.0, kind="kill",
+                                                  station=2)]),
+                 horizon=3000, seed=22))
     return grid

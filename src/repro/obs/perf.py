@@ -144,6 +144,24 @@ def bench_fuzz_case_rate(quick: bool = False) -> float:
     return cases / (time.perf_counter() - start)
 
 
+def bench_qoe_score_rate(quick: bool = False) -> float:
+    """Perceptual scoring throughput: packet outcomes/sec through the full
+    loss-run -> burst-ratio -> E-model -> MOS pipeline."""
+    import random
+
+    from repro.qoe.score import score_outcomes
+
+    flows = 40 if quick else 200
+    per_flow = 500
+    rng = random.Random(5)
+    streams = [[rng.random() > 0.03 for _ in range(per_flow)]
+               for _ in range(flows)]
+    start = time.perf_counter()
+    for outcomes in streams:
+        score_outcomes(outcomes, delay_ms=rng.uniform(5.0, 250.0))
+    return flows * per_flow / (time.perf_counter() - start)
+
+
 def bench_fabric_tick_rate(quick: bool = False) -> float:
     """Fabric slot-ticks/sec: a 4-ring chain co-simulated serially with
     cross-ring CBR flows (trace off — measures the sync+exchange path)."""
@@ -165,6 +183,7 @@ SUITE: Dict[str, Callable[[bool], float]] = {
     "sweep_throughput": bench_sweep_throughput,
     "fuzz_case_rate": bench_fuzz_case_rate,
     "fabric_tick_rate": bench_fabric_tick_rate,
+    "qoe_score_rate": bench_qoe_score_rate,
 }
 
 

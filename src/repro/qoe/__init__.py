@@ -1,0 +1,20 @@
+"""QoE subsystem: voice/multimedia sessions and perceptual quality scoring.
+
+``repro.qoe.sessions`` models call lifecycles (arrival, admission, holding,
+teardown, mid-call cuts) over a WRT-Ring; ``repro.qoe.score`` folds
+per-packet outcomes into E-model R-factor/MOS scores; ``repro.qoe.capacity``
+(imported explicitly — it depends on :mod:`repro.scenarios`, which in turn
+imports this package) binary-searches the voice-call capacity of WRT-Ring
+vs the TPT and CSMA baselines.
+"""
+
+from repro.qoe.score import (DEFAULT_MOS_FLOOR, FlowScore, PerceptualScorer,
+                             burst_ratio, e_model_r, loss_runs, mos_from_r,
+                             score_outcomes)
+from repro.qoe.sessions import (CallsSpec, SessionManager, VideoSession,
+                                VoiceCall)
+
+__all__ = ["CallsSpec", "SessionManager", "VoiceCall", "VideoSession",
+           "PerceptualScorer", "FlowScore", "DEFAULT_MOS_FLOOR",
+           "loss_runs", "burst_ratio", "e_model_r", "mos_from_r",
+           "score_outcomes"]

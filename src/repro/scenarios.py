@@ -36,6 +36,7 @@ from repro.phy.impairments import ChannelImpairments, ImpairmentSpec
 from repro.phy.geometry import Arena, ring_placement, uniform_placement
 from repro.phy.mobility import JitterMobility, StaticMobility
 from repro.phy.topology import ConnectivityGraph, construct_ring
+from repro.qoe.sessions import CallsSpec, SessionManager
 from repro.sim.engine import Engine
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecorder
@@ -54,8 +55,11 @@ class TrafficMix:
     ``"video"`` (needs ``period`` as the frame interval), ``"backlog"``
     (saturating the ``service`` queue), ``"saturate"`` (worst-case load:
     both the Premium and the best-effort queue of every station kept
-    backlogged, the pattern of the Sec. 2.6 bound experiments), or
-    ``"none"``.
+    backlogged, the pattern of the Sec. 2.6 bound experiments),
+    ``"onoff"`` (exponential talkspurt bursts: ``peak_rate`` during ON,
+    ``mean_on``/``mean_off`` in slots), ``"voice"`` (a bidirectional
+    on/off pair per station — each station holds one two-way
+    conversation), or ``"none"``.
     """
 
     kind: str = "poisson"
@@ -64,11 +68,22 @@ class TrafficMix:
     service: ServiceClass = ServiceClass.BEST_EFFORT
     deadline: Optional[float] = None
     neighbours_only: bool = False
+    #: on/off talkspurt shape (kinds "onoff" and "voice"); the defaults are
+    #: the G.711 voice model in slots (see docs/QOE.md)
+    peak_rate: float = 0.05
+    mean_on: float = 350.0
+    mean_off: float = 650.0
 
     def __post_init__(self) -> None:
         if self.kind not in ("cbr", "poisson", "video", "backlog",
-                             "saturate", "none"):
+                             "saturate", "onoff", "voice", "none"):
             raise ValueError(f"unknown traffic kind {self.kind!r}")
+        if self.kind in ("onoff", "voice"):
+            if self.peak_rate <= 0:
+                raise ValueError(f"peak_rate must be positive, "
+                                 f"got {self.peak_rate!r}")
+            if self.mean_on <= 0 or self.mean_off <= 0:
+                raise ValueError("mean_on and mean_off must be positive")
 
 
 @dataclass(frozen=True)
@@ -101,6 +116,9 @@ class Scenario:
     use_channel: bool = False
     validate_phy: bool = False
     traffic: TrafficMix = field(default_factory=TrafficMix)
+    #: voice/multimedia call workload (see repro.qoe.sessions.CallsSpec);
+    #: None = no session layer
+    calls: Optional["CallsSpec"] = None
     mobility: Optional[MobilitySpec] = None
     faults: Optional[FaultSchedule] = None
     #: stochastic frame loss (None or an all-defaults spec = clean channel)
@@ -138,6 +156,7 @@ class ScenarioResult:
     mobility: StaticMobility
     trace: TraceRecorder
     checker: Optional[RingInvariantChecker]
+    sessions: Optional[SessionManager] = None
 
     def resolved_config(self) -> Dict[str, object]:
         """The resolved run configuration, echoed in every summary so a run
@@ -145,7 +164,7 @@ class ScenarioResult:
         result records share this shape)."""
         scn = self.scenario
         mix = scn.traffic
-        return {
+        out = {
             "n": scn.n,
             "l": scn.l,
             "k": scn.k,
@@ -160,6 +179,12 @@ class ScenarioResult:
                 "neighbours_only": mix.neighbours_only,
             },
         }
+        if mix.kind in ("onoff", "voice"):
+            out["traffic"].update(peak_rate=mix.peak_rate,
+                                  mean_on=mix.mean_on, mean_off=mix.mean_off)
+        if scn.calls is not None:
+            out["calls"] = scn.calls.to_dict()
+        return out
 
     def summary(self) -> Dict[str, object]:
         net = self.network
@@ -213,6 +238,8 @@ class ScenarioResult:
         if self.checker is not None:
             out["invariants_clean"] = self.checker.clean
             out["invariant_violations"] = list(self.checker.violations)
+        if self.sessions is not None:
+            out["calls"] = self.sessions.summary()
         return out
 
 
@@ -252,6 +279,18 @@ def _attach_traffic(scn: Scenario, net: WRTRingNetwork,
             wl.add_poisson(flow, rate=mix.rate)
         elif mix.kind == "video":
             wl.add_video(flow, frame_interval=mix.period)
+        elif mix.kind == "onoff":
+            wl.add_onoff(flow, peak_rate=mix.peak_rate, mean_on=mix.mean_on,
+                         mean_off=mix.mean_off)
+        elif mix.kind == "voice":
+            # a two-way conversation per station: talkspurts in both
+            # directions between sid and its picked partner
+            wl.add_onoff(flow, peak_rate=mix.peak_rate, mean_on=mix.mean_on,
+                         mean_off=mix.mean_off)
+            wl.add_onoff(FlowSpec(src=dst, dst=sid, service=mix.service,
+                                  deadline=mix.deadline),
+                         peak_rate=mix.peak_rate, mean_on=mix.mean_on,
+                         mean_off=mix.mean_off)
         elif mix.kind == "backlog":
             wl.add_backlog(flow, target=15,
                            destinations=[dst] if mix.neighbours_only else None)
@@ -289,18 +328,42 @@ def build_scenario(scenario: Scenario) -> ScenarioResult:
     else:
         mobility = StaticMobility(positions)
 
+    # RAP-joining callers are off-ring stations that must be *physically*
+    # placed to hear two consecutive NEXT_FREE announcements; park each at
+    # the midpoint of an adjacent station pair (well inside radio range of
+    # both).  Empty for every other scenario, so the graph — and therefore
+    # every existing trace — is byte-identical to before.
+    caller_positions: Dict[int, np.ndarray] = {}
+    if scenario.calls is not None and scenario.calls.join_via_rap:
+        from repro.qoe.sessions import RAP_CALLER_BASE
+        for cid in range(scenario.calls.count):
+            i = cid % scenario.n
+            j = (i + 1) % scenario.n
+            caller_positions[RAP_CALLER_BASE + cid] = (
+                positions[i] + positions[j]) / 2.0
+
     # connectivity provider over the *live* positions, cached per update
     cache = {"t": -1.0, "graph": None}
     update_every = mob_spec.update_every if mob_spec else 10 ** 9
 
     def graph_provider() -> ConnectivityGraph:
         if cache["graph"] is None or engine.now - cache["t"] >= update_every:
-            cache["graph"] = ConnectivityGraph(mobility.positions.copy(),
-                                               radio_range)
+            pos = mobility.positions.copy()
+            node_ids = None
+            if caller_positions:
+                pos = np.vstack([pos, list(caller_positions.values())])
+                node_ids = (list(range(len(mobility.positions)))
+                            + list(caller_positions))
+            cache["graph"] = ConnectivityGraph(pos, radio_range,
+                                               node_ids=node_ids)
             cache["t"] = engine.now
         return cache["graph"]
 
-    ring_order = construct_ring(graph_provider())
+    base_graph = graph_provider()
+    if caller_positions:
+        # the initial ring is the n deployed stations; callers join later
+        base_graph = base_graph.subgraph(list(range(scenario.n)))
+    ring_order = construct_ring(base_graph)
 
     quotas = scenario.quotas or {
         sid: QuotaConfig.two_class(scenario.l, scenario.k)
@@ -343,6 +406,10 @@ def build_scenario(scenario: Scenario) -> ScenarioResult:
     if scenario.faults is not None:
         scenario.faults.attach(net)
 
+    sessions = None
+    if scenario.calls is not None:
+        sessions = SessionManager(net, workload, scenario.calls, streams)
+
     if scenario.kernel == "batched":
         # must be installed before start(): the kernel replaces the tick
         # driver and needs to see every packet-entry event from slot 0
@@ -352,7 +419,7 @@ def build_scenario(scenario: Scenario) -> ScenarioResult:
     net.start()
     return ScenarioResult(scenario=scenario, engine=engine, network=net,
                           workload=workload, mobility=mobility, trace=trace,
-                          checker=checker)
+                          checker=checker, sessions=sessions)
 
 
 def run_scenario(scenario: Scenario) -> ScenarioResult:

@@ -62,6 +62,34 @@ class TestRoundTrip:
             scenario_from_dict({"traffic": {"kind": "cbr",
                                             "service": "platinum"}})
 
+    def test_onoff_traffic_round_trip(self):
+        scn = Scenario(n=6, traffic=TrafficMix(kind="onoff", peak_rate=0.08,
+                                               mean_on=120.0, mean_off=480.0),
+                       horizon=1000.0, seed=3)
+        data = scenario_to_dict(scn)
+        assert data["traffic"]["peak_rate"] == 0.08
+        back = scenario_from_dict(data)
+        assert back.traffic.kind == "onoff"
+        assert back.traffic.mean_on == 120.0
+        assert scenario_to_dict(back) == data
+
+    def test_calls_round_trip(self):
+        from repro.qoe.sessions import CallsSpec
+        scn = Scenario(n=8, rap_enabled=True, use_channel=True,
+                       traffic=TrafficMix(kind="none"),
+                       calls=CallsSpec(count=20, arrival_rate=0.01,
+                                       deadline=300.0, join_via_rap=True),
+                       horizon=2000.0, seed=4)
+        data = scenario_to_dict(scn)
+        back = scenario_from_dict(data)
+        assert back.calls == scn.calls
+        assert scenario_to_dict(back) == data
+
+    def test_no_calls_key_when_absent(self):
+        data = scenario_to_dict(Scenario(n=4))
+        assert "calls" not in data
+        assert scenario_from_dict(data).calls is None
+
     def test_faults_survive(self):
         scn = full_scenario()
         back = scenario_from_dict(scenario_to_dict(scn))

@@ -61,6 +61,34 @@ class TestStaticScenarios:
             else:
                 assert summary["delivered"] > 0
 
+    def test_onoff_traffic_kind(self):
+        result = run_scenario(Scenario(
+            n=5, horizon=4000,
+            traffic=TrafficMix(kind="onoff", peak_rate=0.05,
+                               mean_on=200.0, mean_off=300.0)))
+        assert result.summary()["delivered"] > 0
+        # one unidirectional on/off source per station
+        assert len(result.workload.sources) == 5
+
+    def test_voice_traffic_kind_is_bidirectional(self):
+        result = run_scenario(Scenario(
+            n=5, horizon=4000,
+            traffic=TrafficMix(kind="voice", peak_rate=0.05,
+                               service=ServiceClass.PREMIUM,
+                               deadline=200.0)))
+        assert result.summary()["delivered"] > 0
+        # each station's call gets a forward and a reverse leg
+        assert len(result.workload.sources) == 10
+        pairs = {(s.flow.src, s.flow.dst) for s in result.workload.sources}
+        for src, dst in list(pairs):
+            assert (dst, src) in pairs
+
+    def test_onoff_kind_validation(self):
+        with pytest.raises(ValueError):
+            TrafficMix(kind="onoff", peak_rate=0.0)
+        with pytest.raises(ValueError):
+            TrafficMix(kind="voice", mean_on=-1.0)
+
     def test_custom_quotas(self):
         quotas = {sid: QuotaConfig.two_class(sid % 2 + 1, 1)
                   for sid in range(5)}

@@ -15,6 +15,18 @@ def collecting_sink():
     return packets, packets.append
 
 
+class _ScriptedRandom(random.Random):
+    """Random stub whose ``expovariate`` replays a scripted sequence, for
+    pinning a generator's ON/OFF phases exactly."""
+
+    def __init__(self, draws):
+        super().__init__(0)
+        self._draws = list(draws)
+
+    def expovariate(self, lambd):
+        return self._draws.pop(0)
+
+
 class TestFlowSpec:
     def test_packet_stamping(self):
         flow = FlowSpec(src=0, dst=3, service=ServiceClass.PREMIUM, deadline=20.0)
@@ -159,6 +171,34 @@ class TestOnOff:
             OnOffSource(eng, flow, lambda p: None, peak_rate=1.0, mean_on=0,
                         mean_off=1, rng=random.Random(0))
 
+    def test_stop_mid_burst(self):
+        # scripted draws: ON lasts 100 slots with a packet every 10; the
+        # stop lands inside the burst, and the generator must not emit
+        # past it
+        eng = Engine()
+        got, sink = collecting_sink()
+        src = OnOffSource(eng, FlowSpec(src=0, dst=1), sink, peak_rate=0.1,
+                          mean_on=100.0, mean_off=100.0,
+                          rng=_ScriptedRandom([100.0] + [10.0] * 20),
+                          stop=45.0)
+        eng.run(until=1000.0)
+        assert [p.created for p in got] == [10.0, 20.0, 30.0, 40.0]
+        assert src.generated == 4
+
+    def test_stop_mid_silence(self):
+        # ON burst of 10 slots (packets at 4 and 8), then a 100-slot
+        # silence the stop lands in: nothing more may be emitted
+        eng = Engine()
+        got, sink = collecting_sink()
+        src = OnOffSource(eng, FlowSpec(src=0, dst=1), sink, peak_rate=0.25,
+                          mean_on=10.0, mean_off=100.0,
+                          rng=_ScriptedRandom([10.0, 4.0, 4.0, 4.0, 100.0,
+                                               100.0] + [4.0] * 20),
+                          stop=50.0)
+        eng.run(until=1000.0)
+        assert [p.created for p in got] == [4.0, 8.0]
+        assert src.generated == 2
+
 
 class TestVideo:
     def test_gop_pattern_packet_counts(self):
@@ -181,6 +221,17 @@ class TestVideo:
                           gop="IBBPBBPBB")
         per_gop = 6 + 4 * 2 + 2 * 6
         assert src.rate == pytest.approx(per_gop / 90.0)
+
+    def test_rate_matches_emitted_long_run(self):
+        # the advertised long-run rate must agree with what the generator
+        # actually emits over whole GoPs (the load-calibration contract)
+        eng = Engine()
+        got, sink = collecting_sink()
+        src = VideoSource(eng, FlowSpec(src=0, dst=1), sink,
+                          frame_interval=10.0)
+        eng.run(until=899.0)    # 90 frames = 10 whole default GoPs
+        assert src.generated == len(got)
+        assert src.generated / 900.0 == pytest.approx(src.rate, rel=0.01)
 
     def test_validation(self):
         eng = Engine()

@@ -38,6 +38,18 @@ class TestTraceSource:
         with pytest.raises(ValueError):
             TraceSource(eng, flow, lambda p: None, [-1.0, 1.0])
 
+    def test_duplicate_timestamps_all_emitted(self):
+        # a measured trace can carry several arrivals at the same instant
+        # (sub-slot timestamps rounded to the grid); each must become its
+        # own packet, in trace order
+        eng = Engine()
+        got, sink = collecting_sink()
+        TraceSource(eng, FlowSpec(src=0, dst=1), sink, [5.0, 5.0, 5.0, 10.0])
+        eng.run()
+        assert [p.created for p in got] == [5.0, 5.0, 5.0, 10.0]
+        pids = [p.pid for p in got]
+        assert pids == sorted(pids)
+
     def test_rate_estimate(self):
         eng = Engine()
         src = TraceSource(eng, FlowSpec(src=0, dst=1), lambda p: None,
