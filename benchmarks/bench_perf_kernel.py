@@ -81,6 +81,79 @@ def test_perf_saturated_ring_ticks(benchmark):
     assert benchmark.stats["mean"] < 2.0   # > 1k slot-ticks/s of 16 stations
 
 
+def _backlogged_ring(n=32, rt_per_station=700, be_per_station=350):
+    """A fully backlogged n-station ring: every station holds a
+    successor-addressed queue (the vectorized saturated path's gate)."""
+    engine = Engine()
+    cfg = WRTRingConfig.homogeneous(range(n), l=2, k=1, rap_enabled=False)
+    net = WRTRingNetwork(engine, list(range(n)), cfg)
+    return engine, net, cfg
+
+
+def _prefill_successor(net, rt_per_station, be_per_station):
+    for sid in net.members:
+        st = net.stations[sid]
+        dst = net.successor(sid)
+        for _ in range(rt_per_station):
+            st.enqueue(Packet(src=sid, dst=dst,
+                              service=ServiceClass.PREMIUM, created=0.0), 0.0)
+        for _ in range(be_per_station):
+            st.enqueue(Packet(src=sid, dst=dst,
+                              service=ServiceClass.BEST_EFFORT, created=0.0),
+                       0.0)
+
+
+def test_perf_saturated_window_vectorized(benchmark):
+    """10k slots of a fully backlogged 32-station ring under the batched
+    kernel's analytic SAT-window path (trace off, RAP off).
+
+    The acceptance target for this regime is >= 5x the scalar slot rate
+    on the same configuration (see ``saturated_slot_rate`` in the gated
+    perf suite); the assertion here is set far below the measured rate to
+    stay robust on slow machines.
+    """
+    from repro.kernel import install_batched_kernel
+
+    def run():
+        engine, net, _ = _backlogged_ring()
+        kernel = install_batched_kernel(net)
+        net.start()
+        _prefill_successor(net, 700, 350)
+        engine.run(until=10_000)
+        return kernel
+
+    kernel = benchmark(run)
+    # the analytic path must carry virtually the whole horizon
+    assert kernel.sat_windows > 0
+    assert kernel.sat_slots > 9_000
+    assert benchmark.stats["mean"] < 2.0   # > 5k slot-ticks/s of 32 stations
+
+
+def test_perf_dataplane_decide_layer(benchmark):
+    """2k decision-layer passes over a backlogged 32-station ring.
+
+    ``_decide_slot`` is the pure half of the ``_tick_body`` split: it
+    writes class picks into a preallocated buffer without popping queues
+    or emitting, so repeated calls are side-effect free and must not
+    allocate per tick.
+    """
+    engine, net, _ = _backlogged_ring()
+    net.start()
+    _prefill_successor(net, 5, 3)
+    members = [net.stations[sid] for sid in net.order]
+    buffer_before = net._slot_picks
+
+    def run():
+        for _ in range(2000):
+            net._decide_slot(members)
+        return net._slot_picks
+
+    buffer_after = benchmark(run)
+    # the picks buffer is reused, never rebuilt per tick
+    assert buffer_after is buffer_before
+    assert benchmark.stats["mean"] < 1.0
+
+
 def test_perf_trace_select_indexed(benchmark):
     """select() on a crowded trace must be O(matches), not O(events).
 

@@ -73,6 +73,8 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
         out["traffic"].update(peak_rate=scenario.traffic.peak_rate,
                               mean_on=scenario.traffic.mean_on,
                               mean_off=scenario.traffic.mean_off)
+    if scenario.traffic.kind == "prefill":
+        out["traffic"]["burst"] = scenario.traffic.burst
     if scenario.kernel != "scalar":
         # emitted only when non-default so existing configs, corpus bundles
         # and campaign-store keys keep their exact historical shape

@@ -1,0 +1,303 @@
+"""Struct-of-arrays mirror of the per-station hot-path protocol state.
+
+:class:`ColumnState` packs the scalar ``WRTRingStation`` objects into numpy
+columns — quotas, class-queue depths, per-round send counters, SAT visit
+bookkeeping, liveness masks and the SAT position — so the batched kernel can
+reason about *all* stations with array operations instead of per-object
+attribute walks.
+
+The ring owns one live instance (``WRTRingNetwork.columns``), rebound on
+every membership change via :meth:`bind_ring`.  Two tiers of state:
+
+* **Write-through cells** — the rare lifecycle fields (``alive``,
+  ``leaving``, ``quota``) are mirrored eagerly: the station properties
+  write both the shadow attribute and the bound column cell, bumping
+  :attr:`generation` so the kernel can detect perturbation mid-window.
+  Hot per-slot fields deliberately stay plain python attributes on the
+  station (a numpy cell read costs ~12x a plain attribute load), and are
+  bulk-refreshed with :meth:`sync_hot` only at batch-window boundaries.
+* **Snapshot columns** — :meth:`sync_from_network` /
+  :meth:`verify_against` round-trip the column view against the scalar
+  objects, which is how the kernel unit tests (and a parity-diff
+  debugging session) prove the two representations agree field by field.
+
+:func:`hop_plan` is the analytic heart of quiescent fast-forward: given
+the SAT's in-flight anchor and a hop budget it computes, per station, how
+many visits land in the jump window and when the last one arrives — one
+vectorized expression instead of a per-slot simulation loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["ColumnState", "hop_plan"]
+
+
+def hop_plan(n: int, i1: int, K: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized visit plan for ``K`` SAT hops around an ``n``-ring.
+
+    Hop ``j`` (0-based) arrives at ring offset ``(i1 + j) % n``.  Returns
+    ``(offsets, counts, last_j)`` where ``counts[d]`` is the number of visits
+    the station at offset ``(i1 + d) % n`` receives and ``last_j[d]`` the hop
+    index of its final visit (-1 when unvisited).
+    """
+    if K < 0:
+        raise ValueError(f"hop budget must be non-negative, got {K}")
+    offsets = np.arange(n)
+    counts = np.where(offsets < K, (K - offsets + n - 1) // n, 0)
+    last_j = np.where(counts > 0, offsets + (counts - 1) * n, -1)
+    return offsets, counts, last_j
+
+
+def _nonsucc_count(st) -> int:
+    """Recount of queued packets not addressed to the ring successor —
+    the ground truth the incremental ``st._nonsucc`` counter must track."""
+    succ = st._succ_sid
+    return sum(1 for q in (st.rt_queue, st.as_queue, st.be_queue)
+               for p in q if p.dst != succ)
+
+
+class ColumnState:
+    """Numpy-column view of a :class:`~repro.core.ring.WRTRingNetwork`."""
+
+    def __init__(self, net) -> None:
+        self.net = net
+        #: bumped on every write-through lifecycle change and every rebind;
+        #: the batched kernel snapshots it at window start and aborts a
+        #: replay window when it moves (membership/liveness perturbation)
+        self.generation = 0
+        self.sync_from_network()
+
+    # ------------------------------------------------------------------
+    # live binding (ring-owned instance only)
+    # ------------------------------------------------------------------
+    def bind_ring(self) -> None:
+        """Rebuild every column and (re)bind the member stations' cells.
+
+        Called by ``WRTRingNetwork._reindex`` on every membership change.
+        Stations that left the ring are detached (their lifecycle setters
+        stop writing through), members get their column row index.
+        """
+        net = self.net
+        for st in net.stations.values():
+            st._cols = None
+            st._idx = -1
+        self.sync_from_network()
+        for idx, st in enumerate(self._stations):
+            st._cols = self
+            st._idx = idx
+        self.generation += 1
+
+    def set_alive(self, idx: int, value: bool) -> None:
+        self.alive[idx] = value
+        self.generation += 1
+
+    def set_leaving(self, idx: int, value: bool) -> None:
+        self.leaving[idx] = value
+        self.generation += 1
+
+    def set_quota(self, idx: int, quota) -> None:
+        self.quota_l[idx] = quota.l
+        self.quota_k[idx] = quota.k
+        self.quota_k1[idx] = quota.k1
+        self.quota_k2[idx] = quota.k2
+        self.generation += 1
+
+    # ------------------------------------------------------------------
+    def sync_from_network(self) -> None:
+        """Rebuild every column from the scalar station objects."""
+        net = self.net
+        order = list(net.order)
+        stations = [net.stations[sid] for sid in order]
+        self._stations = stations
+        n = len(order)
+        self.order = np.array(order, dtype=np.int64)
+
+        self.quota_l = np.array([st.quota.l for st in stations], dtype=np.int64)
+        self.quota_k = np.array([st.quota.k for st in stations], dtype=np.int64)
+        self.quota_k1 = np.array([st.quota.k1 for st in stations], dtype=np.int64)
+        self.quota_k2 = np.array([st.quota.k2 for st in stations], dtype=np.int64)
+
+        self.alive = np.array([st.alive for st in stations], dtype=bool)
+        self.leaving = np.array([st.leaving for st in stations], dtype=bool)
+
+        self.sat_visits = np.array([st.sat_visits for st in stations], dtype=np.int64)
+        self.sat_holds = np.array([st.sat_holds for st in stations], dtype=np.int64)
+        self.last_sat_seq = np.array([st.last_sat_seq for st in stations], dtype=np.int64)
+        self.last_arrival = np.array(
+            [np.nan if st.last_sat_arrival is None else st.last_sat_arrival
+             for st in stations], dtype=np.float64)
+        self.last_departure = np.array(
+            [np.nan if st.last_sat_departure is None else st.last_sat_departure
+             for st in stations], dtype=np.float64)
+
+        sat = net.sat
+        pos = net._pos
+        #: SAT position encoded as a ring offset: holder index when held,
+        #: destination index when in flight (``sat_in_flight`` disambiguates;
+        #: -1 when the signal is lost or heading to a just-removed station)
+        self.sat_in_flight = sat.in_flight
+        if sat.in_flight:
+            self.sat_pos = pos.get(sat.in_flight_to, -1)
+        elif sat.at_station is not None and sat.at_station in pos:
+            self.sat_pos = pos[sat.at_station]
+        else:
+            self.sat_pos = -1
+        self.sat_arrival_time = (np.nan if sat.arrival_time is None
+                                 else sat.arrival_time)
+        self.sat_hops = sat.hops
+        self.sat_seq = sat.seq
+        self.n = n
+        self.sync_hot()
+
+    def sync_hot(self) -> None:
+        """Refresh the per-slot columns — queue depths, round counters,
+        non-successor counts — from the bound stations.  Cheap enough for
+        a batch-window boundary; far too hot for every slot (which is why
+        these fields live as plain attributes on the station between
+        windows)."""
+        sts = self._stations
+        n = self.n
+        self.rt_depth = np.fromiter(
+            (len(st.rt_queue) for st in sts), dtype=np.int64, count=n)
+        self.as_depth = np.fromiter(
+            (len(st.as_queue) for st in sts), dtype=np.int64, count=n)
+        self.be_depth = np.fromiter(
+            (len(st.be_queue) for st in sts), dtype=np.int64, count=n)
+        self.transit_depth = np.fromiter(
+            (len(st.transit) for st in sts), dtype=np.int64, count=n)
+        self.rt_pck = np.fromiter(
+            (st.rt_pck for st in sts), dtype=np.int64, count=n)
+        self.nrt_pck = np.fromiter(
+            (st.nrt_pck for st in sts), dtype=np.int64, count=n)
+        self.as_pck = np.fromiter(
+            (st.as_pck for st in sts), dtype=np.int64, count=n)
+        self.be_pck = np.fromiter(
+            (st.be_pck for st in sts), dtype=np.int64, count=n)
+        self.nonsucc = np.fromiter(
+            (st._nonsucc for st in sts), dtype=np.int64, count=n)
+
+    # ------------------------------------------------------------------
+    # saturated-regime helpers (the batched kernel's decision inputs)
+    # ------------------------------------------------------------------
+    def members_saturated(self) -> bool:
+        """Early-exit scan over the live members: every one alive and
+        staying, transit buffers empty, all queued traffic addressed to
+        the ring successor, and at least one packet buffered.  Pure
+        python on the hot shadow attributes — this runs on every tick the
+        cheaper gate checks pass, so it must not touch numpy cells."""
+        total = 0
+        for st in self._stations:
+            if (not st._alive or st._leaving or st.transit or st._nonsucc):
+                return False
+            total += len(st.rt_queue) + len(st.as_queue) + len(st.be_queue)
+        return total > 0
+
+    def segment_budgets(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized remaining send budgets of the current SAT round.
+
+        Per station: ``r`` RT sends (residual ``l`` clamped by the RT
+        depth), then ``a`` Assured and ``b`` best-effort sends drawing
+        from the shared residual ``k`` with the ``k1``/``k2`` caps —
+        the column form of ``QuotaConfig.send_schedule``.  Call
+        :meth:`sync_hot` first.
+        """
+        r = np.minimum(np.maximum(self.quota_l - self.rt_pck, 0),
+                       self.rt_depth)
+        nb = np.maximum(self.quota_k - self.nrt_pck, 0)
+        a = np.minimum(np.minimum(
+            np.maximum(self.quota_k1 - self.as_pck, 0), nb), self.as_depth)
+        b = np.minimum(np.minimum(
+            np.maximum(self.quota_k2 - self.be_pck, 0), nb - a), self.be_depth)
+        return r, a, b
+
+    @staticmethod
+    def send_bounds(r: np.ndarray, a: np.ndarray,
+                    b: np.ndarray) -> np.ndarray:
+        """Cumulative slot boundaries of each station's send run: row 0 is
+        where the RT burst ends (offset from the segment start), row 1
+        where Assured ends, row 2 where the whole burst ends — the
+        slot→class assignment used by the saturated walk."""
+        return np.cumsum(np.stack((r, a, b)), axis=0)
+
+    # ------------------------------------------------------------------
+    def slot_occupancy(self) -> int:
+        """Stations that would contend for the current slot (non-empty
+        queues or transit traffic) — the columnar form of the dataplane's
+        busy count."""
+        return int(np.count_nonzero(
+            (self.rt_depth + self.as_depth + self.be_depth
+             + self.transit_depth) > 0))
+
+    def quiescent_mask(self) -> np.ndarray:
+        """Per-station 'nothing buffered, fully alive' mask."""
+        return ((self.rt_depth == 0) & (self.as_depth == 0)
+                & (self.be_depth == 0) & (self.transit_depth == 0)
+                & self.alive & ~self.leaving)
+
+    # ------------------------------------------------------------------
+    def verify_against(self, net=None) -> List[str]:
+        """Field-by-field comparison with the scalar station objects.
+
+        Returns a list of human-readable mismatch strings (empty = the
+        column view and the object view agree) — the primitive the kernel
+        unit tests and parity debugging build on.
+        """
+        net = net if net is not None else self.net
+        issues: List[str] = []
+        order = list(net.order)
+        if order != self.order.tolist():
+            issues.append(f"ring order: columns {self.order.tolist()} "
+                          f"vs network {order}")
+            return issues
+        scalar_fields = {
+            "quota_l": lambda st: st.quota.l,
+            "quota_k": lambda st: st.quota.k,
+            "quota_k1": lambda st: st.quota.k1,
+            "quota_k2": lambda st: st.quota.k2,
+            "rt_depth": lambda st: len(st.rt_queue),
+            "as_depth": lambda st: len(st.as_queue),
+            "be_depth": lambda st: len(st.be_queue),
+            "transit_depth": lambda st: len(st.transit),
+            "rt_pck": lambda st: st.rt_pck,
+            "nrt_pck": lambda st: st.nrt_pck,
+            "as_pck": lambda st: st.as_pck,
+            "be_pck": lambda st: st.be_pck,
+            "alive": lambda st: st.alive,
+            "leaving": lambda st: st.leaving,
+            "sat_visits": lambda st: st.sat_visits,
+            "sat_holds": lambda st: st.sat_holds,
+            "last_sat_seq": lambda st: st.last_sat_seq,
+            # the incremental counter against a ground-truth recount —
+            # catches any enqueue/pop path that skipped the maintenance
+            "nonsucc": _nonsucc_count,
+        }
+        for name, getter in scalar_fields.items():
+            column = getattr(self, name)
+            for idx, sid in enumerate(order):
+                want = getter(net.stations[sid])
+                got = column[idx]
+                if bool(got != want):
+                    issues.append(f"{name}[{sid}]: column {got!r} vs "
+                                  f"station {want!r}")
+        for name, attr in (("last_arrival", "last_sat_arrival"),
+                           ("last_departure", "last_sat_departure")):
+            column = getattr(self, name)
+            for idx, sid in enumerate(order):
+                want = getattr(net.stations[sid], attr)
+                got = None if np.isnan(column[idx]) else float(column[idx])
+                if got != want:
+                    issues.append(f"{name}[{sid}]: column {got!r} vs "
+                                  f"station {want!r}")
+        sat = net.sat
+        if self.sat_in_flight != sat.in_flight:
+            issues.append(f"sat_in_flight: column {self.sat_in_flight} "
+                          f"vs sat {sat.in_flight}")
+        if self.sat_hops != sat.hops:
+            issues.append(f"sat_hops: column {self.sat_hops} vs sat {sat.hops}")
+        if self.sat_seq != sat.seq:
+            issues.append(f"sat_seq: column {self.sat_seq} vs sat {sat.seq}")
+        return issues

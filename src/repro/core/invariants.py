@@ -94,7 +94,8 @@ class RingInvariantChecker:
                 self._fail(f"t={t}: station {sid} AS+BE "
                            f"{st.as_pck}+{st.be_pck} != NRT {st.nrt_pck}")
             # the satisfied predicate must match its Sec. 2.2 definition
-            expected = st.rt_pck >= q.l or not st.rt_queue
+            # (a leaving station relinquishes its claim on the SAT)
+            expected = st.leaving or st.rt_pck >= q.l or not st.rt_queue
             if st.satisfied != expected:
                 self._fail(f"t={t}: station {sid} satisfied={st.satisfied} "
                            f"disagrees with definition")

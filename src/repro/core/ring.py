@@ -43,7 +43,9 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.bounds import sat_rotation_bound
 from repro.analysis.netmetrics import NetworkMetrics
+from repro.core.columns import ColumnState
 from repro.core.config import WRTRingConfig
+from repro.core.diffserv import COLUMN_CLASSES
 from repro.core.packet import Packet
 from repro.core.quotas import QuotaConfig
 from repro.core.sat import SAT, RotationLog
@@ -132,6 +134,10 @@ class WRTRingNetwork:
         self._sat_bound_cache = None
         self._sat_seq = 0
         self.rotation_log = RotationLog()
+        #: struct-of-arrays mirror of the hot-path station state; rebound on
+        #: every membership change, consumed by the batched kernel
+        self.columns = ColumnState(self)
+        self._refresh_members()
 
         #: optional :class:`~repro.phy.impairments.ChannelImpairments` —
         #: consulted for dataplane hops and SAT/SAT_REC hand-offs, and
@@ -367,6 +373,31 @@ class WRTRingNetwork:
     def _reindex(self) -> None:
         self._pos = {sid: i for i, sid in enumerate(self.order)}
         self._sat_bound_cache = None   # membership changed: bound changed
+        self._refresh_members()
+
+    def _refresh_members(self) -> None:
+        """Rebuild the hot-path member cache after a membership change:
+        the in-order station list (so the per-slot loops stop doing a dict
+        lookup per station), each member's successor hint + non-successor
+        recount, the preallocated per-slot scratch buffers, and the
+        columnar binding."""
+        members = [self.stations[sid] for sid in self.order]
+        self._members = members
+        n = len(members)
+        for st in self.stations.values():
+            st._succ_sid = None
+        for i, st in enumerate(members):
+            st._succ_sid = members[(i + 1) % n].sid
+        for st in self.stations.values():
+            succ = st._succ_sid
+            st._nonsucc = sum(
+                1 for q in (st.rt_queue, st.as_queue, st.be_queue)
+                for p in q if p.dst != succ)
+        self.columns.bind_ring()
+        # per-slot scratch, reused every tick (decision codes + in-flight
+        # slot contents) instead of being reallocated
+        self._slot_picks: List[int] = [0] * n
+        self._slot_outputs: List[Optional[Packet]] = [None] * n
 
     def insert_station(self, new_sid: int, after: int, quota: QuotaConfig,
                        code: Optional[int] = None) -> WRTRingStation:
@@ -408,6 +439,7 @@ class WRTRingNetwork:
                 pkt.dropped = True
                 self._ev_lost(t, pkt, "removed", sid, None)
             queue.clear()
+        st._nonsucc = 0
         if self.channel is not None:
             self.channel.remove_listener(sid)
         self.recovery.on_membership_change(removed=sid)
@@ -470,30 +502,62 @@ class WRTRingNetwork:
     # ------------------------------------------------------------------
     # dataplane
     # ------------------------------------------------------------------
-    def _dataplane(self, t: float) -> None:
-        order = self.order
-        stations = self.stations
-        n = len(order)
-        outputs: List[Optional[Packet]] = [None] * n
+    #: decision codes for one slot: 0..2 index COLUMN_CLASSES (own traffic),
+    #: _PICK_TRANSIT forwards from the insertion buffer, _PICK_IDLE is empty
+    _PICK_IDLE = -1
+    _PICK_TRANSIT = 3
 
-        # phase A: every alive station picks its transmission for this slot
+    def _dataplane(self, t: float) -> None:
+        members = self._members
+        self._decide_slot(members)
+        self._apply_slot(t, members)
+
+    def _decide_slot(self, members: List[WRTRingStation]) -> None:
+        """Decision layer: what occupies each ring position this slot —
+        transit forwarding, one of the station's own classes, or nothing.
+        Pure: no queue pops, no quota spend, no emits; writes decision
+        codes into the preallocated ``_slot_picks`` buffer."""
+        picks = self._slot_picks
         transit_first = self.config.transit_priority
-        for idx in range(n):
-            st = stations[order[idx]]
-            if not st.alive:
-                continue
-            if transit_first and st.transit:
-                outputs[idx] = st.transit.popleft()
-            elif not st.leaving:
-                pkt = st.select_packet()
-                if pkt is not None:
-                    pkt.t_send = t
-                    self._ev_transmit(t, st.sid, pkt)
-                    outputs[idx] = pkt
+        for idx, st in enumerate(members):
+            if not st._alive:
+                picks[idx] = self._PICK_IDLE
+            elif transit_first and st.transit:
+                picks[idx] = self._PICK_TRANSIT
+            elif not st._leaving:
+                service = st._decide_class()
+                if service is not None:
+                    picks[idx] = service
                 elif st.transit:
-                    outputs[idx] = st.transit.popleft()
+                    picks[idx] = self._PICK_TRANSIT
+                else:
+                    picks[idx] = self._PICK_IDLE
             elif st.transit:
-                outputs[idx] = st.transit.popleft()
+                picks[idx] = self._PICK_TRANSIT
+            else:
+                picks[idx] = self._PICK_IDLE
+
+    def _apply_slot(self, t: float, members: List[WRTRingStation]) -> None:
+        """Effects layer: spend the decided authorizations (phase A) and
+        advance every occupied slot one hop simultaneously (phase B),
+        emitting in exactly the legacy order."""
+        picks = self._slot_picks
+        outputs = self._slot_outputs
+        n = len(members)
+
+        # phase A: pop the decided transmissions
+        for idx in range(n):
+            code = picks[idx]
+            if code < 0:
+                outputs[idx] = None
+            elif code == self._PICK_TRANSIT:
+                outputs[idx] = members[idx].transit.popleft()
+            else:
+                st = members[idx]
+                pkt = st._pop_class(COLUMN_CLASSES[code])
+                pkt.t_send = t
+                self._ev_transmit(t, st.sid, pkt)
+                outputs[idx] = pkt
 
         validate = self.config.validate_phy and self.channel is not None
         enforce = self.config.enforce_radio_links and self._graph_provider is not None
@@ -504,8 +568,10 @@ class WRTRingNetwork:
             pkt = outputs[idx]
             if pkt is None:
                 continue
-            src_sid = order[idx]
-            dst_sid = order[(idx + 1) % n]
+            outputs[idx] = None   # the scratch buffer must not pin packets
+            src_sid = members[idx].sid
+            receiver = members[(idx + 1) % n]
+            dst_sid = receiver.sid
             if validate:
                 self.channel.transmit(Frame(
                     src=src_sid, code=self.codes.code_of(dst_sid),
@@ -524,8 +590,7 @@ class WRTRingNetwork:
                     pkt.dropped = True
                     self._ev_lost(t, pkt, reason, src_sid, dst_sid)
                     continue
-            receiver = stations[dst_sid]
-            if not receiver.alive:
+            if not receiver._alive:
                 pkt.dropped = True
                 self._ev_lost(t, pkt, "dead_station", src_sid, dst_sid)
                 continue
@@ -550,7 +615,7 @@ class WRTRingNetwork:
         # while the opt-in trace category is enabled, so steady-state runs
         # skip the O(n) busy count via the emitter's falsiness
         if self._ev_occupancy:
-            busy = sum(1 for p in outputs if p is not None)
+            busy = sum(1 for c in picks if c >= 0)
             self._ev_occupancy(t, busy, n)
 
     def add_delivery_callback(self, sid: int,

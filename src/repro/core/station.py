@@ -35,7 +35,22 @@ class WRTRingStation:
 
     def __init__(self, sid: int, quota: QuotaConfig):
         self.sid = sid
-        self.quota = quota
+        # columnar binding: the owning ring's ColumnState and this station's
+        # row index, set by WRTRingNetwork._reindex (None/-1 while standalone
+        # or after leaving the ring).  The lifecycle setters below write
+        # through to the bound column cells; hot per-slot state stays in
+        # plain attributes (a numpy cell access costs ~12x an attribute
+        # load) and is bulk-synced at kernel batch-window boundaries.
+        self._cols = None
+        self._idx = -1
+        #: ring-successor hint plus an incremental count of queued packets
+        #: *not* addressed to it — the batched kernel's saturated path may
+        #: only engage while every buffered packet is one hop from delivery.
+        #: A standalone station (no successor) counts everything, failing
+        #: safe toward the scalar path.
+        self._succ_sid: Optional[int] = None
+        self._nonsucc = 0
+        self._quota = quota
         self.rt_queue: Deque[Packet] = deque()
         self.as_queue: Deque[Packet] = deque()
         self.be_queue: Deque[Packet] = deque()
@@ -62,16 +77,50 @@ class WRTRingStation:
         #: a signal arriving with seq <= this is a duplicate/stale replay
         #: and is discarded instead of renewing quotas
         self.last_sat_seq = -1
-        # dynamic state
-        self.alive = True
-        self.leaving = False
+        # dynamic state (shadow attributes behind the write-through
+        # properties below)
+        self._alive = True
+        self._leaving = False
+
+    # ------------------------------------------------------------------
+    # lifecycle fields: thin views over the ring's columnar state
+    # ------------------------------------------------------------------
+    @property
+    def quota(self) -> QuotaConfig:
+        return self._quota
+
+    @quota.setter
+    def quota(self, value: QuotaConfig) -> None:
+        self._quota = value
+        if self._cols is not None:
+            self._cols.set_quota(self._idx, value)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        self._alive = value
+        if self._cols is not None:
+            self._cols.set_alive(self._idx, value)
+
+    @property
+    def leaving(self) -> bool:
+        return self._leaving
+
+    @leaving.setter
+    def leaving(self, value: bool) -> None:
+        self._leaving = value
+        if self._cols is not None:
+            self._cols.set_leaving(self._idx, value)
 
     # ------------------------------------------------------------------
     # queueing
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet, now: float) -> None:
         """Accept a packet from the application layer into its class queue."""
-        if not self.alive:
+        if not self._alive:
             raise RuntimeError(f"station {self.sid} is not alive")
         if packet.src != self.sid:
             raise ValueError(
@@ -79,6 +128,8 @@ class WRTRingStation:
         packet.t_enqueue = now
         queue = self._queue_for(packet.service)
         queue.append(packet)
+        if packet.dst != self._succ_sid:
+            self._nonsucc += 1
         self.enqueued[packet.service] += 1
         self._ev_enqueued(now, self.sid, packet)
 
@@ -106,58 +157,86 @@ class WRTRingStation:
     @property
     def may_send_rt(self) -> bool:
         """Rule 1: real-time allowed while fewer than ``l`` sent this round."""
-        return self.rt_pck < self.quota.l and bool(self.rt_queue)
+        return self.rt_pck < self._quota.l and bool(self.rt_queue)
 
     @property
     def _rt_exhausted_or_empty(self) -> bool:
         """Rule 2's precondition: RT buffer empty or RT quota used up."""
-        return not self.rt_queue or self.rt_pck >= self.quota.l
+        return not self.rt_queue or self.rt_pck >= self._quota.l
 
     @property
     def may_send_assured(self) -> bool:
         return (self._rt_exhausted_or_empty
-                and self.nrt_pck < self.quota.k
-                and self.as_pck < self.quota.k1
+                and self.nrt_pck < self._quota.k
+                and self.as_pck < self._quota.k1
                 and bool(self.as_queue))
 
     @property
     def may_send_be(self) -> bool:
         return (self._rt_exhausted_or_empty
-                and self.nrt_pck < self.quota.k
-                and self.be_pck < self.quota.k2
+                and self.nrt_pck < self._quota.k
+                and self.be_pck < self._quota.k2
                 and bool(self.be_queue)
                 # k1 has strict priority over k2 within the same station
                 and not self.may_send_assured)
+
+    def _decide_class(self) -> Optional[ServiceClass]:
+        """Decision half of the send algorithm: which class would fill an
+        empty slot right now, or None.  Pure — touches no state, so the
+        ring's decision layer (and tests) can probe without side effects."""
+        if self.may_send_rt:
+            return ServiceClass.PREMIUM
+        if self.may_send_assured:
+            return ServiceClass.ASSURED
+        if self.may_send_be:
+            return ServiceClass.BEST_EFFORT
+        return None
+
+    def _pop_class(self, service: ServiceClass) -> Packet:
+        """Effects half: dequeue the head of *service* and spend the
+        authorization.  Caller guarantees the class was decided sendable."""
+        if service is ServiceClass.PREMIUM:
+            pkt = self.rt_queue.popleft()
+            self.rt_pck += 1
+        elif service is ServiceClass.ASSURED:
+            pkt = self.as_queue.popleft()
+            self.nrt_pck += 1
+            self.as_pck += 1
+        else:
+            pkt = self.be_queue.popleft()
+            self.nrt_pck += 1
+            self.be_pck += 1
+        if pkt.dst != self._succ_sid:
+            self._nonsucc -= 1
+        self.sent[pkt.service] += 1
+        return pkt
 
     def select_packet(self) -> Optional[Packet]:
         """Pick the next packet to insert into an empty slot, or None.
 
         Follows the send algorithm with Premium > Assured > best-effort
-        priority; updates the round counters.
+        priority; updates the round counters.  Composition of the
+        decision and effects layers above.
         """
-        if self.may_send_rt:
-            pkt = self.rt_queue.popleft()
-            self.rt_pck += 1
-        elif self.may_send_assured:
-            pkt = self.as_queue.popleft()
-            self.nrt_pck += 1
-            self.as_pck += 1
-        elif self.may_send_be:
-            pkt = self.be_queue.popleft()
-            self.nrt_pck += 1
-            self.be_pck += 1
-        else:
+        service = self._decide_class()
+        if service is None:
             return None
-        self.sent[pkt.service] += 1
-        return pkt
+        return self._pop_class(service)
 
     # ------------------------------------------------------------------
     # Sec. 2.2 SAT algorithm (station side)
     # ------------------------------------------------------------------
     @property
     def satisfied(self) -> bool:
-        """Satisfied iff ``RT_PCK == l`` or the real-time queue is empty."""
-        return self.rt_pck >= self.quota.l or not self.rt_queue
+        """Satisfied iff ``RT_PCK == l`` or the real-time queue is empty.
+
+        A leaving station is always satisfied: it no longer transmits its
+        own traffic (Sec. 2.4.2) and must pass the SAT on to the successor
+        that will cut it out — holding it back would stall the rotation
+        until the watchdogs cut out an innocent station instead.
+        """
+        return (self._leaving or self.rt_pck >= self._quota.l
+                or not self.rt_queue)
 
     def on_sat_arrival(self, now: float) -> Optional[float]:
         """Record a SAT visit; returns the rotation time if one completed."""

@@ -14,7 +14,7 @@ from typing import Any, List, Optional
 
 __all__ = ["FaultEvent", "FaultSchedule"]
 
-_KINDS = ("kill", "leave", "drop_signal", "join", "stale_sat")
+_KINDS = ("kill", "leave", "drop_signal", "join", "insert", "stale_sat")
 
 
 @dataclass(frozen=True)
@@ -29,6 +29,12 @@ class FaultEvent:
     - ``"join"``        — a new ``station`` requests to join (``params`` are
       forwarded to :class:`~repro.core.join.JoinRequester` for WRT-Ring or
       ``request_join`` for TPT);
+    - ``"insert"``      — administratively splice ``station`` into the ring
+      (direct ``insert_station``, no RAP/PHY handshake — the membership
+      shake-up without the join machinery; ``params``: ``after`` = ingress
+      member, default the ring head; ``quota`` = a
+      :class:`~repro.core.quotas.QuotaConfig` or ``[l, k1, k2]`` list,
+      default ``two_class(1, 1)``; WRT-Ring only);
     - ``"stale_sat"``   — a duplicated/stale control signal appears at
       ``station`` (default: the first ring member); ``params`` may carry a
       forged ``seq`` (WRT-Ring only, see ``inject_stale_sat``).
@@ -45,7 +51,8 @@ class FaultEvent:
         if self.kind not in _KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; "
                              f"known: {_KINDS}")
-        if self.kind in ("kill", "leave", "join") and self.station is None:
+        if (self.kind in ("kill", "leave", "join", "insert")
+                and self.station is None):
             raise ValueError(f"{self.kind!r} requires a station")
 
 
@@ -83,6 +90,8 @@ class FaultSchedule:
                     net.drop_token()
             elif event.kind == "join":
                 self._apply_join(net, event)
+            elif event.kind == "insert":
+                self._apply_insert(net, event)
             elif event.kind == "stale_sat":
                 if not hasattr(net, "inject_stale_sat"):
                     raise ValueError(
@@ -112,6 +121,17 @@ class FaultSchedule:
         self.requesters.append(
             JoinRequester(net, event.station, quota, **params))
 
+    def _apply_insert(self, net, event: FaultEvent) -> None:
+        from repro.core.quotas import QuotaConfig
+        if not hasattr(net, "insert_station"):
+            raise ValueError("insert faults require a WRT-Ring network")
+        params = dict(event.params)
+        quota = params.get("quota", QuotaConfig.two_class(1, 1))
+        if isinstance(quota, (list, tuple)):   # JSON form: [l, k1, k2]
+            quota = QuotaConfig(*quota)
+        after = params.get("after", net.order[0])
+        net.insert_station(event.station, after=after, quota=quota)
+
 
 class _ScheduleBuilder:
     """Fluent construction: ``FaultSchedule.builder().kill(3, at=100).build()``."""
@@ -134,6 +154,11 @@ class _ScheduleBuilder:
     def join(self, station: int, at: float, **params) -> "_ScheduleBuilder":
         self._events.append(FaultEvent(time=at, kind="join", station=station,
                                        params=params))
+        return self
+
+    def insert(self, station: int, at: float, **params) -> "_ScheduleBuilder":
+        self._events.append(FaultEvent(time=at, kind="insert",
+                                       station=station, params=params))
         return self
 
     def stale_sat(self, at: float, station: Optional[int] = None,

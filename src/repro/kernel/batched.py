@@ -20,6 +20,12 @@ Equivalence is structural, not aspirational:
   does the jump collapse into the closed-form column update from
   :mod:`repro.kernel.columns` — the big win the ``batched_tick_rate``
   benchmark measures.
+* The mirror-image regime — every member backlogged with successor-addressed
+  traffic, nothing else armed — is handled the same way by the *saturated*
+  path: the residual quota budgets from ``ColumnState.segment_budgets`` make
+  each station's sends consecutive, so SAT holds and releases follow in
+  closed form and a whole window of slots is applied from one merged event
+  list (``_saturated_run``; the ``saturated_slot_rate`` benchmark's regime).
 * Runs driven with ``max_events`` budgets fall back to exactly one slot per
   agenda event so budget chunk boundaries keep their scalar meaning.
 
@@ -33,12 +39,16 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.core.diffserv import COLUMN_CLASSES
 from repro.core.sat import SAT
 from repro.events.types import (PacketEnqueued, PacketLost, PacketOrphaned,
-                                SlotDeliver)
-from repro.kernel.columns import ColumnState, hop_plan
+                                SlotDeliver, SlotTransmit)
+from repro.kernel.columns import hop_plan
 
 __all__ = ["BatchedKernel", "install_batched_kernel"]
+
+#: a saturated window shorter than this is not worth the setup cost
+_MIN_SAT_WINDOW = 8
 
 
 def install_batched_kernel(net) -> "BatchedKernel":
@@ -57,7 +67,9 @@ class BatchedKernel:
             raise RuntimeError("a tick driver is already installed")
         self.net = net
         self.engine = net.engine
-        self.columns = ColumnState(net)
+        #: the ring-owned struct-of-arrays state (kept as an attribute for
+        #: the historical ``kernel.columns`` access path)
+        self.columns = net.columns
         #: packets accepted into any MAC queue and not yet delivered/lost —
         #: maintained from the event spine, so it is exact whenever every
         #: packet exit emits (the invariant the spine already guarantees);
@@ -67,12 +79,17 @@ class BatchedKernel:
         #: fast-forward telemetry (for tests and perf analysis)
         self.ff_jumps = 0
         self.ff_slots_skipped = 0
+        #: saturated-path telemetry: engaged windows and slots they covered
+        self.sat_windows = 0
+        self.sat_slots = 0
+        self._dataplane_private = False
         net.tick_driver = self._drive
         bus = net.events
         bus.subscribe(PacketEnqueued, self._on_packet_in)
         bus.subscribe(SlotDeliver, self._on_packet_out)
         bus.subscribe(PacketLost, self._on_packet_out)
         bus.subscribe(PacketOrphaned, self._on_packet_out)
+        bus.add_binder(self._recheck_dataplane_subs)
 
     # ------------------------------------------------------------------
     def _on_packet_in(self, _ev) -> None:
@@ -80,6 +97,20 @@ class BatchedKernel:
 
     def _on_packet_out(self, _ev) -> None:
         self.buffered -= 1
+
+    def _recheck_dataplane_subs(self) -> None:
+        """Re-derive (on every subscription change) whether the dataplane
+        events are *privately* consumed: the saturated path applies the
+        transmit/deliver effects inline, which is only sound while the
+        subscriber tuples are exactly the consumers it replicates —
+        network metrics plus its own buffered counter.  Any extra
+        subscriber (a scorer, a gateway, an oracle) turns the path off."""
+        bus = self.net.events
+        mt = self.net.metrics
+        self._dataplane_private = (
+            bus.subscribers(SlotTransmit) == (mt._on_transmit,)
+            and bus.subscribers(SlotDeliver)
+            == (mt._on_deliver, self._on_packet_out))
 
     # ------------------------------------------------------------------
     # the tick driver
@@ -97,8 +128,11 @@ class BatchedKernel:
             nxt = t + 1.0
             until = eng.run_until
             if (until is not None and not eng.run_budgeted
-                    and not eng.stopped and self._quiescent(t)):
-                nxt = self._fast_forward(t, until)
+                    and not eng.stopped):
+                if self._quiescent(t):
+                    nxt = self._fast_forward(t, until)
+                elif self._saturated(t):
+                    nxt = self._saturated_run(t, until)
             if eng.stopped or eng.run_budgeted or (until is not None
                                                    and nxt > until):
                 break
@@ -262,3 +296,282 @@ class BatchedKernel:
         sat.at_station = None
         sat.in_flight_to = order[(i1 + K) % n]
         sat.arrival_time = a0 + (K - 1) * h + h
+
+    # ------------------------------------------------------------------
+    # saturated regime
+    # ------------------------------------------------------------------
+    def _saturated(self, t: float) -> bool:
+        """True when the coming slots are a pure drain of successor-addressed
+        backlog under quota control: every member alive and staying, transit
+        buffers empty, all queued traffic one hop from home, the SAT a normal
+        in-flight signal, and nothing else — no hooks, channel, impairments,
+        RAP, gateways or extra dataplane subscribers — able to observe or
+        perturb individual slots.  Cheapest checks first; the per-station
+        scan runs only when everything else already passed."""
+        net = self.net
+        if self.buffered <= 0 or not self._dataplane_private:
+            return False
+        if net._tick_hooks or net._ev_tick or net._ev_occupancy:
+            return False
+        if net.channel is not None or net.impairments is not None:
+            return False
+        cfg = net.config
+        if cfg.rap_enabled or cfg.enforce_radio_links:
+            return False
+        if net._delivery_callbacks:
+            return False
+        if (net.network_down or net.rebuilding_until is not None
+                or t < net.pause_until):
+            return False
+        sat = net.sat
+        if (net._sat_lost or sat.kind != SAT.NORMAL or sat.rap_mutex
+                or not sat.in_flight):
+            return False
+        if not float(t).is_integer():
+            return False
+        return net.columns.members_saturated()
+
+    def _emit_sends(self, events: list, i: int, s: int, r: int, a: int,
+                    b: int, limit: int) -> "tuple[int, int, int]":
+        """Append station ``i``'s send events for one segment.
+
+        The segment's sends are consecutive from its start ``s``: ``r`` RT
+        slots, then ``a`` Assured from ``s + r``, then ``b`` best-effort
+        from ``s + r + a`` — truncated at ``limit`` (the release slot, or
+        the window edge for a still-open segment).  Returns the executed
+        ``(r, a, b)`` counts."""
+        avail = limit - s + 1
+        if avail <= 0:
+            return 0, 0, 0
+        r_done = min(r, avail)
+        a_done = min(a, max(0, avail - r))
+        b_done = min(b, max(0, avail - r - a))
+        for j in range(r_done):
+            events.append((s + j, 0, i, 0))
+        base = s + r
+        for j in range(a_done):
+            events.append((base + j, 0, i, 1))
+        base = s + r + a
+        for j in range(b_done):
+            events.append((base + j, 0, i, 2))
+        return r_done, a_done, b_done
+
+    def _saturated_run(self, t: float, until: float) -> float:
+        """Advance the saturated slots after ``t`` analytically; return the
+        next tick time.
+
+        Phase 1 *walks* the SAT itinerary: per station, the residual quota
+        budgets make its sends consecutive from its segment start, so each
+        arrival time, hold decision and release slot follows in closed form
+        (release ``R = max(tau, seg_start + r - 1)``; a release truncates
+        the Assured/best-effort tail and opens a fresh segment at ``R+1``).
+        The walk builds one merged event list — (slot, kind, pos) with
+        sends before the slot's SAT step — and never touches live state.
+
+        Phase 2 *applies* the list in slot order.  Sends are always applied
+        inline (the gate proved metrics + the buffered counter are the only
+        consumers, and every packet is one hop from home).  SAT steps run
+        in one of two modes: while any SAT emitter has a subscriber the
+        real ``_sat_step`` runs at the real hop time (byte-identical event
+        stream, with divergence tripwires against the prediction);
+        otherwise the hand-off bookkeeping is inlined and only each
+        station's final SAT_TIMER restart is re-armed, as in
+        :meth:`_bulk_hops`."""
+        eng = self.engine
+        net = self.net
+        cols = self.columns
+        ti = int(t)
+        T = int(math.floor(until)) - ti
+        horizon_event = eng.peek()
+        if horizon_event is not None:
+            T = min(T, int(math.ceil(horizon_event)) - 1 - ti)
+        if T < _MIN_SAT_WINDOW:
+            return t + 1.0
+        t_end = ti + T
+
+        members = net._members
+        n = len(members)
+        sat = net.sat
+        h = int(net.config.sat_hop_slots)
+        q_l = [st._quota.l for st in members]
+        q_k = [st._quota.k for st in members]
+        q_k1 = [st._quota.k1 for st in members]
+        q_k2 = [st._quota.k2 for st in members]
+
+        # ---- phase 1: analytic walk -----------------------------------
+        cols.sync_hot()
+        r0, a0, b0 = cols.segment_budgets()
+        seg_start = [ti + 1] * n
+        seg_r = [int(x) for x in r0]
+        seg_a = [int(x) for x in a0]
+        seg_b = [int(x) for x in b0]
+        rem_rt = [int(x) for x in cols.rt_depth]
+        rem_as = [int(x) for x in cols.as_depth]
+        rem_be = [int(x) for x in cols.be_depth]
+
+        events: list = []
+        final_release = [None] * n
+        tau = int(sat.arrival_time)
+        pos = net._pos[sat.in_flight_to]
+        seq = sat.seq
+        hops0 = sat.hops
+        arrivals = 0
+        held_pos = None
+        while tau <= t_end:
+            i = pos
+            arrivals += 1
+            s = seg_start[i]
+            r, a, b = seg_r[i], seg_a[i], seg_b[i]
+            sat_from = s + r - 1 if r > 0 else -1
+            hold = tau < sat_from
+            R = sat_from if hold else tau
+            if R > t_end:
+                # held past the window edge: record the arrival and stop
+                events.append((tau, 1, i, ("hop", tau, None, True, seq,
+                                           arrivals)))
+                held_pos = i
+                break
+            events.append((tau, 1, i, ("hop", tau, R, hold, seq, arrivals)))
+            if R > tau:
+                events.append((R, 1, i, ("rel", R)))
+            r_done, a_done, b_done = self._emit_sends(
+                events, i, s, r, a, b, R)
+            rem_rt[i] -= r_done
+            rem_as[i] -= a_done
+            rem_be[i] -= b_done
+            seg_start[i] = R + 1
+            # QuotaConfig.send_schedule with the round counters cleared
+            # (the release wiped them), inlined off the hot walk
+            seg_r[i] = q_l[i] if q_l[i] < rem_rt[i] else rem_rt[i]
+            a_new = min(q_k1[i], q_k[i], rem_as[i])
+            seg_a[i] = a_new
+            seg_b[i] = min(q_k2[i], q_k[i] - a_new, rem_be[i])
+            final_release[i] = R
+            seq += 1
+            pos = (i + 1) % n
+            tau = R + h
+        # flush the still-open segments, clipped to the window edge
+        for i in range(n):
+            if seg_start[i] <= t_end:
+                self._emit_sends(events, i, seg_start[i], seg_r[i],
+                                 seg_a[i], seg_b[i], t_end)
+        events.sort()
+
+        self.sat_windows += 1
+        self.sat_slots += T
+
+        # ---- phase 2: ordered application -----------------------------
+        replay = bool(net._ev_sat_release or net._ev_sat_rotation
+                      or net._ev_sat_arrive or net._ev_sat_hold)
+        gen0 = cols.generation
+        mt = net.metrics
+        transmitted = mt.transmitted
+        delivered = mt.delivered
+        access = [mt.access_delay[c].samples for c in COLUMN_CLASSES]
+        e2e = [mt.e2e_delay[c].samples for c in COLUMN_CLASSES]
+        dtr = mt.deadlines
+        rot_log = net.rotation_log
+
+        for slot, kind, i, payload in events:
+            if kind == 0:
+                # one send: the scalar phase-A pop/transmit plus the
+                # phase-B one-hop delivery to the ring successor, with the
+                # metrics consumers' effects applied directly (delay
+                # samples can't be negative here, so the series validation
+                # is safe to skip)
+                st = members[i]
+                svc = COLUMN_CLASSES[payload]
+                pkt = st._pop_class(svc)
+                ts = float(slot)
+                pkt.t_send = ts
+                transmitted[svc] += 1
+                access[payload].append(ts - pkt.t_enqueue)
+                succ = members[(i + 1) % n]
+                pkt.hops += 1
+                td = ts + 1.0
+                pkt.t_deliver = td
+                succ.received[svc] += 1
+                delivered[svc] += 1
+                e2e[payload].append(td - pkt.created)
+                dl = pkt.deadline
+                if dl is not None:
+                    if td <= dl:
+                        dtr.met += 1
+                    else:
+                        dtr.missed += 1
+                        dtr.miss_lateness.append(td - dl)
+                self.buffered -= 1
+            elif replay:
+                tf = float(slot)
+                buffered0 = self.buffered
+                eng.advance_to(tf)
+                net._sat_step(tf)
+                if (eng.stopped or net._sat_lost
+                        or net.sat.kind != SAT.NORMAL
+                        or cols.generation != gen0
+                        or self.buffered != buffered0):
+                    # a subscriber perturbed the world mid-window: all
+                    # effects through this slot are applied, so resume
+                    # normal ticking exactly where scalar would tick
+                    return math.floor(eng.now) + 1.0
+                if payload[0] == "hop":
+                    want_held = payload[2] is None or payload[2] > payload[1]
+                    if want_held != (net.sat.at_station is not None):
+                        raise RuntimeError(
+                            f"saturated walk diverged at t={slot}: predicted "
+                            f"{'hold' if want_held else 'release'} at "
+                            f"{members[i].sid}, SAT is {net.sat!r}")
+                elif not net.sat.in_flight:
+                    raise RuntimeError(
+                        f"saturated walk diverged at t={slot}: predicted "
+                        f"release from {members[i].sid}, SAT is {net.sat!r}")
+            elif payload[0] == "hop":
+                _, ptau, pR, hold, pseq, arrival_no = payload
+                st = members[i]
+                tf = float(slot)
+                if st.last_sat_arrival is not None:
+                    rot_log.add(st.sid, tf - st.last_sat_arrival)
+                st.last_sat_arrival = tf
+                st.last_sat_seq = pseq
+                st.sat_visits += 1
+                if hold:
+                    st.sat_holds += 1
+                if i == 0:
+                    sat.rounds += 1
+                    rot_log.mark_round(hops0 + arrival_no)
+                if pR == slot:
+                    # arrived satisfied: released within the same SAT step
+                    st.last_sat_departure = tf
+                    st.rt_pck = 0
+                    st.nrt_pck = 0
+                    st.as_pck = 0
+                    st.be_pck = 0
+            else:
+                st = members[i]
+                st.last_sat_departure = float(slot)
+                st.rt_pck = 0
+                st.nrt_pck = 0
+                st.as_pck = 0
+                st.be_pck = 0
+
+        if not replay:
+            # deferred SAT_TIMER maintenance: every release restarted the
+            # holder's watchdog, but only the final restart survives —
+            # re-arm once per station, in release order (see _bulk_hops)
+            rearms = sorted((R, i) for i, R in enumerate(final_release)
+                            if R is not None)
+            for R, i in rearms:
+                eng.advance_to(float(R))
+                net.recovery.restart_timer(members[i].sid)
+            sat.hops = hops0 + arrivals
+            sat.seq = seq
+            net._sat_seq = seq
+            if held_pos is not None:
+                sat.at_station = members[held_pos].sid
+                sat.in_flight_to = None
+                sat.arrival_time = None
+            else:
+                sat.at_station = None
+                sat.in_flight_to = members[pos].sid
+                sat.arrival_time = float(tau)
+        return float(t_end) + 1.0

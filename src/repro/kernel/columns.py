@@ -1,182 +1,14 @@
-"""Columnar mirror of the per-station protocol state.
+"""Compatibility re-export: the columnar state moved into the core layer.
 
-:class:`ColumnState` packs the scalar ``WRTRingStation`` objects into numpy
-columns — quotas, class-queue depths, per-round send counters, SAT visit
-bookkeeping, liveness masks and the SAT position — so the batched kernel can
-reason about *all* stations with array operations instead of per-object
-attribute walks.
-
-Two roles:
-
-* :func:`hop_plan` is the analytic heart of fast-forward: given the SAT's
-  in-flight anchor and a hop budget it computes, per station, how many visits
-  land in the jump window, when the last one arrives and which control-signal
-  sequence number it carries — one vectorized expression instead of a
-  per-slot simulation loop.
-* :meth:`ColumnState.sync_from_network` / :meth:`ColumnState.verify_against`
-  round-trip the column view against the scalar objects, which is how the
-  kernel unit tests (and a parity-diff debugging session) prove the two
-  representations agree field by field.
+The struct-of-arrays station state grew from a kernel-private snapshot into
+the ring-owned live mirror (``WRTRingNetwork.columns``) — see
+:mod:`repro.core.columns` for the real implementation.  This module keeps
+the historical import path (``repro.kernel.columns`` /
+``repro.kernel.ColumnState``) working for tests and downstream tooling.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
-import numpy as np
+from repro.core.columns import ColumnState, hop_plan
 
 __all__ = ["ColumnState", "hop_plan"]
-
-
-def hop_plan(n: int, i1: int, K: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Vectorized visit plan for ``K`` SAT hops around an ``n``-ring.
-
-    Hop ``j`` (0-based) arrives at ring offset ``(i1 + j) % n``.  Returns
-    ``(offsets, counts, last_j)`` where ``counts[d]`` is the number of visits
-    the station at offset ``(i1 + d) % n`` receives and ``last_j[d]`` the hop
-    index of its final visit (-1 when unvisited).
-    """
-    if K < 0:
-        raise ValueError(f"hop budget must be non-negative, got {K}")
-    offsets = np.arange(n)
-    counts = np.where(offsets < K, (K - offsets + n - 1) // n, 0)
-    last_j = np.where(counts > 0, offsets + (counts - 1) * n, -1)
-    return offsets, counts, last_j
-
-
-class ColumnState:
-    """Numpy-column snapshot of a :class:`~repro.core.ring.WRTRingNetwork`."""
-
-    def __init__(self, net) -> None:
-        self.net = net
-        self.sync_from_network()
-
-    # ------------------------------------------------------------------
-    def sync_from_network(self) -> None:
-        """Rebuild every column from the scalar station objects."""
-        net = self.net
-        order = list(net.order)
-        stations = [net.stations[sid] for sid in order]
-        n = len(order)
-        self.order = np.array(order, dtype=np.int64)
-
-        self.quota_l = np.array([st.quota.l for st in stations], dtype=np.int64)
-        self.quota_k = np.array([st.quota.k for st in stations], dtype=np.int64)
-        self.quota_k1 = np.array([st.quota.k1 for st in stations], dtype=np.int64)
-        self.quota_k2 = np.array([st.quota.k2 for st in stations], dtype=np.int64)
-
-        self.rt_depth = np.array([len(st.rt_queue) for st in stations], dtype=np.int64)
-        self.as_depth = np.array([len(st.as_queue) for st in stations], dtype=np.int64)
-        self.be_depth = np.array([len(st.be_queue) for st in stations], dtype=np.int64)
-        self.transit_depth = np.array([len(st.transit) for st in stations], dtype=np.int64)
-
-        self.rt_pck = np.array([st.rt_pck for st in stations], dtype=np.int64)
-        self.nrt_pck = np.array([st.nrt_pck for st in stations], dtype=np.int64)
-        self.as_pck = np.array([st.as_pck for st in stations], dtype=np.int64)
-        self.be_pck = np.array([st.be_pck for st in stations], dtype=np.int64)
-
-        self.alive = np.array([st.alive for st in stations], dtype=bool)
-        self.leaving = np.array([st.leaving for st in stations], dtype=bool)
-
-        self.sat_visits = np.array([st.sat_visits for st in stations], dtype=np.int64)
-        self.sat_holds = np.array([st.sat_holds for st in stations], dtype=np.int64)
-        self.last_sat_seq = np.array([st.last_sat_seq for st in stations], dtype=np.int64)
-        self.last_arrival = np.array(
-            [np.nan if st.last_sat_arrival is None else st.last_sat_arrival
-             for st in stations], dtype=np.float64)
-        self.last_departure = np.array(
-            [np.nan if st.last_sat_departure is None else st.last_sat_departure
-             for st in stations], dtype=np.float64)
-
-        sat = net.sat
-        pos = net._pos
-        #: SAT position encoded as a ring offset: holder index when held,
-        #: destination index when in flight (``sat_in_flight`` disambiguates)
-        self.sat_in_flight = sat.in_flight
-        if sat.in_flight:
-            self.sat_pos = pos[sat.in_flight_to]
-        elif sat.at_station is not None and sat.at_station in pos:
-            self.sat_pos = pos[sat.at_station]
-        else:
-            self.sat_pos = -1
-        self.sat_arrival_time = (np.nan if sat.arrival_time is None
-                                 else sat.arrival_time)
-        self.sat_hops = sat.hops
-        self.sat_seq = sat.seq
-        self.n = n
-
-    # ------------------------------------------------------------------
-    def slot_occupancy(self) -> int:
-        """Stations that would contend for the current slot (non-empty
-        queues or transit traffic) — the columnar form of the dataplane's
-        busy count."""
-        return int(np.count_nonzero(
-            (self.rt_depth + self.as_depth + self.be_depth
-             + self.transit_depth) > 0))
-
-    def quiescent_mask(self) -> np.ndarray:
-        """Per-station 'nothing buffered, fully alive' mask."""
-        return ((self.rt_depth == 0) & (self.as_depth == 0)
-                & (self.be_depth == 0) & (self.transit_depth == 0)
-                & self.alive & ~self.leaving)
-
-    # ------------------------------------------------------------------
-    def verify_against(self, net=None) -> List[str]:
-        """Field-by-field comparison with the scalar station objects.
-
-        Returns a list of human-readable mismatch strings (empty = the
-        column view and the object view agree) — the primitive the kernel
-        unit tests and parity debugging build on.
-        """
-        net = net if net is not None else self.net
-        issues: List[str] = []
-        order = list(net.order)
-        if order != self.order.tolist():
-            issues.append(f"ring order: columns {self.order.tolist()} "
-                          f"vs network {order}")
-            return issues
-        scalar_fields = {
-            "quota_l": lambda st: st.quota.l,
-            "quota_k": lambda st: st.quota.k,
-            "quota_k1": lambda st: st.quota.k1,
-            "quota_k2": lambda st: st.quota.k2,
-            "rt_depth": lambda st: len(st.rt_queue),
-            "as_depth": lambda st: len(st.as_queue),
-            "be_depth": lambda st: len(st.be_queue),
-            "transit_depth": lambda st: len(st.transit),
-            "rt_pck": lambda st: st.rt_pck,
-            "nrt_pck": lambda st: st.nrt_pck,
-            "as_pck": lambda st: st.as_pck,
-            "be_pck": lambda st: st.be_pck,
-            "alive": lambda st: st.alive,
-            "leaving": lambda st: st.leaving,
-            "sat_visits": lambda st: st.sat_visits,
-            "sat_holds": lambda st: st.sat_holds,
-            "last_sat_seq": lambda st: st.last_sat_seq,
-        }
-        for name, getter in scalar_fields.items():
-            column = getattr(self, name)
-            for idx, sid in enumerate(order):
-                want = getter(net.stations[sid])
-                got = column[idx]
-                if bool(got != want):
-                    issues.append(f"{name}[{sid}]: column {got!r} vs "
-                                  f"station {want!r}")
-        for name, attr in (("last_arrival", "last_sat_arrival"),
-                           ("last_departure", "last_sat_departure")):
-            column = getattr(self, name)
-            for idx, sid in enumerate(order):
-                want = getattr(net.stations[sid], attr)
-                got = None if np.isnan(column[idx]) else float(column[idx])
-                if got != want:
-                    issues.append(f"{name}[{sid}]: column {got!r} vs "
-                                  f"station {want!r}")
-        sat = net.sat
-        if self.sat_in_flight != sat.in_flight:
-            issues.append(f"sat_in_flight: column {self.sat_in_flight} "
-                          f"vs sat {sat.in_flight}")
-        if self.sat_hops != sat.hops:
-            issues.append(f"sat_hops: column {self.sat_hops} vs sat {sat.hops}")
-        if self.sat_seq != sat.seq:
-            issues.append(f"sat_seq: column {self.sat_seq} vs sat {sat.seq}")
-        return issues

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List
 
 from repro.core.packet import ServiceClass
+from repro.core.quotas import QuotaConfig
 from repro.scenarios import Scenario, ScenarioResult, TrafficMix, run_scenario
 
 __all__ = ["KernelDiff", "diff_scenario", "diff_fuzz_case", "seeded_grid",
@@ -230,4 +231,33 @@ def seeded_grid() -> List[Scenario]:
                  faults=FaultSchedule([FaultEvent(time=1200.0, kind="kill",
                                                   station=2)]),
                  horizon=3000, seed=22))
+    grid.extend([
+        # fully backlogged drain to the ring successor: the saturated path's
+        # home regime (a slot-0 burst, no per-tick generator, so the
+        # analytic window engages and must stay byte-identical)
+        Scenario(n=6, l=2, k=1,
+                 traffic=TrafficMix(kind="prefill", burst=60,
+                                    neighbours_only=True),
+                 horizon=900, seed=23),
+        # mixed-class backlog under three-class quotas with tight Premium
+        # deadlines: the window's deadline-miss classification on all three
+        # drain budgets
+        Scenario(n=6,
+                 quotas={sid: QuotaConfig(l=1, k1=1, k2=1)
+                         for sid in range(6)},
+                 traffic=TrafficMix(kind="prefill", burst=40,
+                                    service=ServiceClass.PREMIUM,
+                                    deadline=40.0, neighbours_only=True),
+                 horizon=900, seed=24),
+        # saturated + a mid-drain membership change: the insert rebinds the
+        # columns and forces the gate back to scalar slots until the new
+        # topology's successor-addressing is saturated again
+        Scenario(n=6, l=2, k=1,
+                 traffic=TrafficMix(kind="prefill", burst=60,
+                                    neighbours_only=True),
+                 faults=FaultSchedule([FaultEvent(time=300.0, kind="insert",
+                                                  station=77,
+                                                  params={"after": 2})]),
+                 horizon=900, seed=25),
+    ])
     return grid

@@ -425,6 +425,7 @@ class SessionManager:
         call.t_stop = self.net.engine.now
         self._add_rate(call, -1.0)
         self._ev_ended(call.t_stop, call.cid)
+        self._leave_after_call(call)
 
     def _cut(self, call: _SessionBase, t: float, station: int) -> None:
         call.state = "cut"
@@ -436,6 +437,25 @@ class SessionManager:
             src.stop = t
         self._add_rate(call, -1.0)
         self._ev_cut(t, call.cid, station)
+        self._leave_after_call(call)
+
+    def _leave_after_call(self, call: _SessionBase) -> None:
+        """A RAP-joined caller has no business on the ring once its call is
+        over: announce a graceful leave (Sec. 2.4.2) so the ring returns to
+        its pre-call size instead of growing by one station per completed
+        call.  Skipped when the caller is already gone (killed, cut out,
+        dropped in a rebuild) or the ring is too small/degraded to cut
+        anyone out."""
+        net = self.net
+        if not (self.spec.join_via_rap and call.src >= RAP_CALLER_BASE):
+            return
+        st = net.stations.get(call.src)
+        if (call.src not in net._pos or st is None or not st.alive
+                or st.leaving):
+            return
+        if net.network_down or len(net.order) <= 2:
+            return
+        net.leave_gracefully(call.src)
 
     def _on_station_gone(self, ev) -> None:
         for call in self.calls:

@@ -59,7 +59,10 @@ class TrafficMix:
     ``"onoff"`` (exponential talkspurt bursts: ``peak_rate`` during ON,
     ``mean_on``/``mean_off`` in slots), ``"voice"`` (a bidirectional
     on/off pair per station — each station holds one two-way
-    conversation), or ``"none"``.
+    conversation), ``"prefill"`` (a one-shot burst of ``burst`` packets
+    per station flow at slot 0, then silence: deep backlog with no
+    per-tick generator, the drain regime of the saturated-path
+    experiments), or ``"none"``.
     """
 
     kind: str = "poisson"
@@ -73,10 +76,13 @@ class TrafficMix:
     peak_rate: float = 0.05
     mean_on: float = 350.0
     mean_off: float = 650.0
+    #: slot-0 burst depth per flow (kind "prefill" only)
+    burst: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in ("cbr", "poisson", "video", "backlog",
-                             "saturate", "onoff", "voice", "none"):
+                             "saturate", "onoff", "voice", "prefill",
+                             "none"):
             raise ValueError(f"unknown traffic kind {self.kind!r}")
         if self.kind in ("onoff", "voice"):
             if self.peak_rate <= 0:
@@ -84,6 +90,8 @@ class TrafficMix:
                                  f"got {self.peak_rate!r}")
             if self.mean_on <= 0 or self.mean_off <= 0:
                 raise ValueError("mean_on and mean_off must be positive")
+        if self.kind == "prefill" and self.burst < 1:
+            raise ValueError(f"prefill needs burst >= 1, got {self.burst!r}")
 
 
 @dataclass(frozen=True)
@@ -182,6 +190,8 @@ class ScenarioResult:
         if mix.kind in ("onoff", "voice"):
             out["traffic"].update(peak_rate=mix.peak_rate,
                                   mean_on=mix.mean_on, mean_off=mix.mean_off)
+        if mix.kind == "prefill":
+            out["traffic"]["burst"] = mix.burst
         if scn.calls is not None:
             out["calls"] = scn.calls.to_dict()
         return out
@@ -294,6 +304,21 @@ def _attach_traffic(scn: Scenario, net: WRTRingNetwork,
         elif mix.kind == "backlog":
             wl.add_backlog(flow, target=15,
                            destinations=[dst] if mix.neighbours_only else None)
+        elif mix.kind == "prefill":
+            # slot-0 burst, then silence: the primary class plus companion
+            # classes so a multi-class quota drains through every budget
+            wl.add_prefill(flow, count=mix.burst)
+            if (mix.service is ServiceClass.PREMIUM
+                    and net.stations[sid].quota.k1 > 0):
+                wl.add_prefill(FlowSpec(src=sid, dst=dst,
+                                        service=ServiceClass.ASSURED,
+                                        deadline=mix.deadline),
+                               count=mix.burst)
+            if mix.service is not ServiceClass.BEST_EFFORT:
+                # best-effort flows cannot carry deadlines (FlowSpec rule)
+                wl.add_prefill(FlowSpec(src=sid, dst=dst,
+                                        service=ServiceClass.BEST_EFFORT),
+                               count=mix.burst)
         elif mix.kind == "saturate":
             dsts = [dst] if mix.neighbours_only else None
             wl.add_backlog(FlowSpec(src=sid, dst=dst,

@@ -23,7 +23,7 @@ from repro.sim.process import Process, Timeout
 from repro.traffic.flows import FlowSpec
 
 __all__ = ["CBRSource", "PoissonSource", "OnOffSource", "VideoSource",
-           "TraceSource", "BacklogSource"]
+           "TraceSource", "BacklogSource", "PrefillSource"]
 
 Sink = Callable[[Packet], None]
 
@@ -250,6 +250,41 @@ class TraceSource(_SourceBase):
             yield Timeout(when - previous)
             previous = when
             self._emit()
+
+
+class PrefillSource:
+    """One-shot deep backlog: ``count`` packets enqueued at slot 0, then
+    silence — the drain-only regime of the saturated-path experiments.
+
+    Unlike :class:`BacklogSource` this installs *no* per-tick hook, so the
+    batched kernel's analytic paths stay eligible while the queues drain.
+    The single burst runs as a priority ``-1`` agenda event (before the
+    slot-0 tick body, after network start — the enqueues flow through the
+    normal entry funnel and every subscriber sees them).
+    """
+
+    def __init__(self, engine: Engine, flow: FlowSpec, sink: Sink,
+                 count: int):
+        if count < 1:
+            raise ValueError(f"prefill count must be >= 1, got {count}")
+        self.engine = engine
+        self.flow = flow
+        self.sink = sink
+        self.count = count
+        self.generated = 0
+        self.packets: List[Packet] = []
+        engine.schedule_at(0.0, self._burst, priority=-1)
+
+    @property
+    def rate(self) -> None:
+        return None  # finite burst: no long-run rate (like BacklogSource)
+
+    def _burst(self) -> None:
+        for _ in range(self.count):
+            pkt = self.flow.make_packet(self.engine.now)
+            self.generated += 1
+            self.packets.append(pkt)
+            self.sink(pkt)
 
 
 class BacklogSource:

@@ -15,7 +15,8 @@ from repro.core.packet import ServiceClass
 from repro.sim.rng import RandomStreams
 from repro.traffic.flows import FlowSpec
 from repro.traffic.generators import (BacklogSource, CBRSource, OnOffSource,
-                                      PoissonSource, TraceSource, VideoSource)
+                                      PoissonSource, PrefillSource,
+                                      TraceSource, VideoSource)
 
 __all__ = ["Workload", "uniform_destinations"]
 
@@ -105,6 +106,11 @@ class Workload:
 
     def add_trace(self, flow: FlowSpec, arrival_times) -> TraceSource:
         src = TraceSource(self.engine, flow, self._sink, arrival_times)
+        self.sources.append(src)
+        return src
+
+    def add_prefill(self, flow: FlowSpec, count: int) -> PrefillSource:
+        src = PrefillSource(self.engine, flow, self._sink, count)
         self.sources.append(src)
         return src
 

@@ -212,6 +212,83 @@ class TestFastForward:
 
 
 # ======================================================================
+def metrics_state(net):
+    """Sample-order-exact view of the delay/deadline metrics."""
+    mt = net.metrics
+    from repro.core.diffserv import COLUMN_CLASSES
+    return {
+        "transmitted": dict(mt.transmitted),
+        "delivered": dict(mt.delivered),
+        "access": [list(mt.access_delay[c].samples) for c in COLUMN_CLASSES],
+        "e2e": [list(mt.e2e_delay[c].samples) for c in COLUMN_CLASSES],
+        "deadlines": (mt.deadlines.met, mt.deadlines.missed,
+                      list(mt.deadlines.miss_lateness)),
+    }
+
+
+def prefill_successor(net, rt=0, be=0, deadline=None):
+    for sid in net.members:
+        dst = net.successor(sid)
+        for _ in range(rt):
+            net.enqueue(pkt(sid, dst, deadline=deadline))
+        for _ in range(be):
+            net.enqueue(pkt(sid, dst, service=ServiceClass.BEST_EFFORT))
+
+
+class TestSaturatedWindow:
+    """The vectorized saturated path in trace-off bulk mode: whole SAT
+    windows advanced analytically, byte-identical to the scalar kernel.
+    (Replay mode — every tracing run — is pinned by the parity grid's
+    saturated scenarios, seeds 23-25.)"""
+
+    def test_bulk_window_matches_scalar(self):
+        (se, sn), (be, bn, kern) = make_pair(6, l=2, k=1)
+        sn.start(); bn.start()
+        prefill_successor(sn, rt=40, be=20)
+        prefill_successor(bn, rt=40, be=20)
+        se.run(until=600.0); be.run(until=600.0)
+        assert kern.sat_windows > 0
+        assert kern.sat_slots > 100
+        assert snapshot(bn) == snapshot(sn)
+        assert metrics_state(bn) == metrics_state(sn)
+
+    def test_deadline_classification_matches_scalar(self):
+        # tight deadlines so the analytic window classifies misses
+        (se, sn), (be, bn, kern) = make_pair(6, l=1, k=1)
+        sn.start(); bn.start()
+        prefill_successor(sn, rt=30, deadline=40.0)
+        prefill_successor(bn, rt=30, deadline=40.0)
+        se.run(until=400.0); be.run(until=400.0)
+        assert kern.sat_windows > 0
+        assert snapshot(bn) == snapshot(sn)
+        state = metrics_state(bn)
+        assert state == metrics_state(sn)
+        assert state["deadlines"][1] > 0, "no misses; test is vacuous"
+
+    def test_nonsuccessor_traffic_keeps_gate_closed(self):
+        engine, net = make_net(6, l=2, k=1)
+        kern = install_batched_kernel(net)
+        net.start()
+        prefill_successor(net, rt=10)
+        # one two-hop packet: transit forwarding breaks the all-successor
+        # precondition, so the analytic window must never engage
+        net.enqueue(pkt(0, 2))
+        engine.run(until=300.0)
+        assert kern.sat_windows == 0
+
+    def test_drained_ring_hands_back_to_fast_forward(self):
+        # after the backlog drains, the quiescent fast-forward takes over
+        engine, net = make_net(6, l=2, k=1)
+        kern = install_batched_kernel(net)
+        net.start()
+        prefill_successor(net, rt=5, be=3)
+        engine.run(until=2000.0)
+        assert kern.sat_windows > 0
+        assert kern.ff_jumps > 0
+        assert net.metrics.total_delivered == 6 * 8
+
+
+# ======================================================================
 class TestBudgetAndStop:
     def test_max_events_budget_matches_scalar_clock(self):
         # budgeted runs must fall back to slot-at-a-time so chunk

@@ -12,7 +12,7 @@ from repro.qoe.capacity import (CAPACITY_SPEC, measure_fraction,
 from repro.qoe.score import (G711_BPL, PerceptualScorer, burst_ratio,
                              e_model_r, loss_runs, mos_from_r, score_outcomes)
 from repro.qoe.sessions import RAP_CALLER_BASE, CallsSpec
-from repro.scenarios import Scenario, TrafficMix, run_scenario
+from repro.scenarios import MobilitySpec, Scenario, TrafficMix, run_scenario
 from repro.traffic.flows import FlowSpec
 from repro.core.packet import ServiceClass
 
@@ -248,9 +248,33 @@ class TestSessionLifecycle:
         result = run_scenario(scn)
         counts = result.sessions.counts()
         assert counts["active"] + counts["ended"] >= 1
-        joined = [sid for sid in result.network.members
-                  if sid >= RAP_CALLER_BASE]
-        assert joined, "no RAP caller made it onto the ring"
+        assert result.network.join_manager.joins_completed >= 1
+        # a caller may only still be a member while its call is active
+        active_srcs = {c.src for c in result.sessions.calls
+                       if c.state == "active"}
+        for sid in result.network.members:
+            if sid >= RAP_CALLER_BASE:
+                assert sid in active_srcs, \
+                    f"caller {sid} lingers on the ring after its call"
+
+    def test_rap_callers_leave_after_call(self):
+        # regression: completed callers used to stay on the ring forever,
+        # growing it by one station per call (and skewing every rotation
+        # bound computed from the membership)
+        scn = Scenario(n=6, rap_enabled=True, use_channel=True,
+                       traffic=TrafficMix(kind="none"),
+                       calls=CallsSpec(count=3, arrival_rate=0.01,
+                                       mean_holding=400.0,
+                                       join_via_rap=True),
+                       horizon=8000.0, seed=4)
+        result = run_scenario(scn)
+        counts = result.sessions.counts()
+        assert counts["ended"] >= 1, "no call completed; test is vacuous"
+        assert counts["active"] == 0
+        assert result.network.join_manager.joins_completed >= 1
+        # every joined caller announced a graceful leave after teardown:
+        # the ring is back to its pre-call membership
+        assert sorted(result.network.members) == list(range(6))
 
     def test_join_via_rap_requires_channel_and_rap(self):
         base = dict(n=6, traffic=TrafficMix(kind="none"),
@@ -275,6 +299,60 @@ class TestSessionLifecycle:
         assert active
         for call in active:
             assert len(call.flows) == 1     # video is unidirectional
+
+
+# ----------------------------------------------------------------------
+# roaming caller: a call rides out ring re-formations
+# ----------------------------------------------------------------------
+class TestRoamingCaller:
+    def test_voice_call_survives_ring_rebuilds(self):
+        """A voice call whose endpoints survive two full ring re-formations
+        (adjacent double-kills mid-call, wandering stations throughout) must
+        stay active — `_on_rebuild_done` only cuts calls that lost an
+        endpoint — and the horizon-clipped tail packet must be censored,
+        not scored as lost.  Previously this regime was exercised only by
+        fuzzing (see docs/QOE.md)."""
+        # adjacent double-kills defeat the single-station SAT_REC cut-out
+        # and force the Sec. 2.5 re-formation; range_margin=5 keeps the
+        # survivor ring radio-feasible after each gap opens up
+        faults = FaultSchedule([
+            FaultEvent(time=1500.0, kind="kill", station=3),
+            FaultEvent(time=1500.0, kind="kill", station=4),
+            FaultEvent(time=3200.0, kind="kill", station=6),
+            FaultEvent(time=3200.0, kind="kill", station=7),
+        ])
+        # seed 7 pins the call to 0 <-> 9 (disjoint from every kill) and
+        # the 5989.0 horizon lands one slot after the call's last packet
+        # enqueue, clipping it mid-flight with its deadline still open
+        scn = Scenario(n=10, range_margin=5.0,
+                       traffic=TrafficMix(kind="none"),
+                       mobility=MobilitySpec(wander_radius=3.0),
+                       calls=CallsSpec(count=1, arrival_rate=0.05,
+                                       mean_holding=30000.0),
+                       faults=faults, horizon=5989.0, seed=7)
+        result = run_scenario(scn)
+        net = result.network
+        call = result.sessions.calls[0]
+        assert (call.src, call.dst) == (0, 9)
+
+        # both re-formations happened and the endpoints rode them out
+        assert net.recovery.ring_rebuilds == 2
+        assert not net.network_down
+        for killed in (3, 4, 6, 7):
+            assert killed not in net.order
+        assert call.src in net.order and call.dst in net.order
+        assert call.state == "active"
+        assert call.cut_station is None
+
+        # censoring semantics: the clipped tail packet is excluded from
+        # the score instead of counted against the loss rate
+        result.sessions.finalize()
+        fwd, rev = call.scores
+        assert fwd.censored == 1
+        assert rev.censored == 0
+        for score in (fwd, rev):
+            assert score.sent == score.delivered + score.late + score.lost
+        assert call.mos is not None and 1.0 <= call.mos <= 4.5
 
 
 # ----------------------------------------------------------------------
