@@ -113,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "slot) or 'batched' (inline slot batching + "
                           "analytic fast-forward; byte-identical output, "
                           "see docs/KERNEL.md)")
+    sim.add_argument("--adaptive-timers", action="store_true",
+                     help="arm SAT_TIMERs from an RFC 6298 SRTT/RTTVAR "
+                          "estimator over observed rotations (ceilinged at "
+                          "the Theorem-1 bound) instead of the fixed "
+                          "worst case; see docs/RESILIENCE.md")
     sim.add_argument("--timeline", type=str, default=None, metavar="OUT.json",
                      help="export a Chrome-trace/Perfetto timeline of the "
                           "run (SAT holds, RAP windows, slot occupancy, "
@@ -237,6 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--chaos", action="store_true",
                     help="force channel impairments into every generated "
                          "case (soak mode)")
+    fz.add_argument("--adaptive", action="store_true",
+                    help="force RFC 6298 adaptive SAT timers into every "
+                         "generated case (otherwise drawn on ~20%% of "
+                         "cases, ~50%% under --chaos)")
     fz.add_argument("--out", type=str, default=".fuzz",
                     help="directory for repro bundles and the result store")
     fz.add_argument("--store", type=str, default=None,
@@ -415,6 +424,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         scenario = load_scenario(args.config)
         if args.kernel is not None and args.kernel != scenario.kernel:
             scenario = replace(scenario, kernel=args.kernel)
+        if args.adaptive_timers and not scenario.adaptive_timers:
+            scenario = replace(scenario, adaptive_timers=True)
         payload = _run_observed(scenario, args.timeline, args.metrics)
         _emit(payload, args.json)
         return 0
@@ -459,6 +470,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         impairments=_parse_impairments(args),
         check_invariants=args.check_invariants,
         kernel=args.kernel or "scalar",
+        adaptive_timers=args.adaptive_timers,
         horizon=args.horizon, seed=args.seed)
     payload = _run_observed(scenario, args.timeline, args.metrics)
     _emit(payload, args.json)
@@ -658,6 +670,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     campaign = run_fuzz_campaign(args.seed, args.runs, store, args.out,
                                  max_slots=args.max_slots,
                                  shrink=args.shrink, chaos=args.chaos,
+                                 adaptive=args.adaptive,
                                  progress=progress)
     if args.json:
         print(json.dumps(campaign.records, indent=2, default=str))

@@ -79,6 +79,8 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
         # emitted only when non-default so existing configs, corpus bundles
         # and campaign-store keys keep their exact historical shape
         out["kernel"] = scenario.kernel
+    if scenario.adaptive_timers:
+        out["adaptive_timers"] = True
     if scenario.calls is not None:
         out["calls"] = scenario.calls.to_dict()
     if scenario.quotas is not None:
@@ -107,7 +109,7 @@ def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
     for key in ("n", "placement", "radius", "range_margin", "l", "k",
                 "rap_enabled", "t_ear", "t_update", "use_channel",
                 "validate_phy", "check_invariants", "horizon", "seed",
-                "kernel"):
+                "kernel", "adaptive_timers"):
         if key in data:
             kwargs[key] = data[key]
 
@@ -146,8 +148,8 @@ def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
                            "arena", "l", "k", "rap_enabled", "t_ear",
                            "t_update", "use_channel", "validate_phy",
                            "check_invariants", "horizon", "seed", "kernel",
-                           "traffic", "quotas", "mobility", "faults",
-                           "impairments", "calls"}
+                           "adaptive_timers", "traffic", "quotas", "mobility",
+                           "faults", "impairments", "calls"}
     if unknown:
         raise ValueError(f"unknown scenario keys: {sorted(unknown)}")
     return Scenario(**kwargs)

@@ -1,0 +1,122 @@
+"""Adaptive SAT-timer estimation (RFC 6298 style) for WRT-Ring.
+
+The paper arms every station's ``SAT_TIMER`` with the fixed Theorem-1
+worst case ``SAT_TIME`` (Sec. 2.5).  That is *safe* — a timer can never
+fire while a live SAT is still on its way — but slow: on an impaired
+channel the ring only notices a lost SAT after the full worst-case
+rotation, even when observed rotations are a tenth of the bound.
+
+:class:`RttEstimator` closes that gap with the TCP retransmission-timer
+estimator of RFC 6298, applied to SAT inter-arrival times:
+
+* ``SRTT``/``RTTVAR`` smoothing with the RFC constants (``ALPHA`` = 1/8,
+  ``BETA`` = 1/4, first sample seeds ``SRTT = R``, ``RTTVAR = R/2``);
+* Karn's rule — samples taken during recovery rounds or SAT_REC walks are
+  excluded by the caller (:meth:`RecoveryManager.observe_rotation`), so a
+  stretched post-repair rotation never poisons the estimate;
+* exponential backoff on timeout (doubled per expiry, reset by the next
+  valid sample), bounded so the timeout interval stays finite;
+* two safety rails the RFC does not need but a token ring does: a *floor*
+  at the largest rotation ever observed (a timeout below a rotation that
+  actually happened would be a guaranteed false trigger under identical
+  conditions) and a *ceiling* at the Theorem-1 bound, so the adaptive
+  timer is never **less** safe than the paper's fixed one.
+
+The estimator is deliberately engine-agnostic (plain floats in, plain
+floats out): :class:`~repro.core.recovery.RecoveryManager` feeds it
+rotation samples and arms timers from :meth:`rto`;
+:class:`~repro.core.join.JoinRequester` reuses only the backoff counter
+to space its RAP retries exponentially.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["RttEstimator"]
+
+
+class RttEstimator:
+    """Per-station smoothed rotation-time estimator with safety rails."""
+
+    #: RFC 6298 smoothing gains
+    ALPHA = 0.125
+    BETA = 0.25
+    #: RFC 6298 variance multiplier (``RTO = SRTT + K * RTTVAR``)
+    K = 4.0
+    #: clock granularity: one slot
+    G = 1.0
+    #: headroom multiplier on the RFC interval — rotations are bursty
+    #: (RAP pauses, saturated quota walks), and a false SAT_REC cuts an
+    #: innocent station out of the ring, so the cost asymmetry warrants
+    #: more margin than TCP's retransmission
+    SAFETY = 2.0
+    #: backoff is capped so the timeout interval stays finite even under
+    #: a pathological expiry storm (the ceiling caps the RTO anyway)
+    MAX_BACKOFF = 64.0
+
+    __slots__ = ("srtt", "rttvar", "max_sample", "backoff",
+                 "samples", "excluded")
+
+    def __init__(self) -> None:
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.max_sample = 0.0
+        self.backoff = 1.0
+        self.samples = 0
+        self.excluded = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, sample: float) -> None:
+        """Fold one valid (non-Karn-excluded) rotation sample in."""
+        if sample <= 0:
+            raise ValueError(f"rotation sample must be > 0, got {sample!r}")
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = ((1.0 - self.BETA) * self.rttvar
+                           + self.BETA * abs(self.srtt - sample))
+            self.srtt = (1.0 - self.ALPHA) * self.srtt + self.ALPHA * sample
+        self.max_sample = max(self.max_sample, sample)
+        self.backoff = 1.0
+        self.samples += 1
+
+    def exclude(self) -> None:
+        """Count a Karn-excluded sample (recovery/rebuild rounds)."""
+        self.excluded += 1
+
+    def on_timeout(self) -> None:
+        """Exponential backoff: the next :meth:`rto` doubles (RFC 6298
+        §5.5) until a valid sample resets it."""
+        self.backoff = min(self.backoff * 2.0, self.MAX_BACKOFF)
+
+    # ------------------------------------------------------------------
+    def rto(self, ceiling: float, allowance: float = 0.0) -> float:
+        """The retransmission-timeout analogue: the SAT_TIMER duration.
+
+        ``ceiling`` is the Theorem-1 ``SAT_TIME`` bound for the *current*
+        membership (it changes across cut-outs and joins, so the caller
+        passes it per arm rather than the estimator caching a stale one).
+        ``allowance`` is an additive pause budget the next rotation may
+        legitimately contain even though no past sample did — the caller
+        passes ``T_rap`` when the RAP is enabled, since any rotation can
+        absorb one join window.  Before the first sample the estimator
+        knows nothing and returns the ceiling — exactly the paper's
+        fixed timer.
+
+        Unlike TCP, rotation times have a *legitimate* load-dependent
+        dynamic range (an idle rotation is ``S``; a saturated one
+        approaches the bound), so the deviation term is floored at
+        ``SRTT`` itself: a long-converged idle estimator keeps at least
+        ``SAFETY * 2 * SRTT`` of headroom and a sudden traffic burst
+        stretching the next rotation severalfold is not declared a
+        failure.  A spurious timeout here costs an innocent cut-out —
+        far worse than TCP's spurious retransmit — hence the rails.
+        """
+        if self.srtt is None:
+            return ceiling
+        deviation = max(self.G, self.K * self.rttvar, self.srtt)
+        raw = self.SAFETY * (self.srtt + deviation) * self.backoff + allowance
+        # floor: never below a rotation that demonstrably happened
+        return min(ceiling, max(raw, self.max_sample + self.G))

@@ -241,6 +241,11 @@ class JoinRequester:
     """A station outside the ring executing the Sec. 2.4.1 'new station'
     algorithm over the broadcast channel."""
 
+    #: adaptive mode: ceiling on the RAP-opportunity skip window, so the
+    #: exponential backoff cannot push the ``max_attempts`` give-up
+    #: deadline beyond ``max_attempts * (BACKOFF_CAP + 1)`` opportunities
+    BACKOFF_CAP = 8
+
     def __init__(self, net, new_sid: int, quota: QuotaConfig,
                  code_new: Optional[int] = None,
                  deadline_req: Optional[float] = None,
@@ -267,6 +272,13 @@ class JoinRequester:
         #: colliding or fading on a lossy channel (needs ``rng``)
         self.retry_jitter = retry_jitter
         self._skip_next = 0
+        #: adaptive mode (``net.adaptive_timers``): the retry window grows
+        #: exponentially per timeout instead of the uniform retry_jitter
+        #: draw, reusing the RttEstimator's RFC 6298 backoff counter
+        self.adaptive = bool(getattr(net, "adaptive_timers", False))
+        if self.adaptive:
+            from repro.core.adaptive import RttEstimator
+            self._backoff = RttEstimator()
 
         self.state = JoinOutcome.LISTENING
         self.heard: Dict[int, NextFree] = {}
@@ -391,7 +403,18 @@ class JoinRequester:
                     and self.attempts >= self.max_attempts):
                 self.state = JoinOutcome.GAVE_UP
                 return
-            if self.rng is not None and self.retry_jitter > 0:
+            if self.adaptive:
+                # exponential backoff on timeout: double the skip window
+                # per failure (RFC 6298 §5.5 via the estimator's counter),
+                # capped so the give-up deadline stays bounded
+                self._backoff.on_timeout()
+                window = min(int(self._backoff.backoff) // 2,
+                             self.BACKOFF_CAP)
+                if self.rng is not None and window > 0:
+                    self._skip_next = self.rng.randint(0, window)
+                else:
+                    self._skip_next = window
+            elif self.rng is not None and self.retry_jitter > 0:
                 self._skip_next = self.rng.randint(0, self.retry_jitter)
             self.state = JoinOutcome.LISTENING
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.adaptive import RttEstimator
 from repro.core.sat import SAT
 from repro.events import types as _ev
 from repro.phy.cdma import BROADCAST_CODE
@@ -88,6 +89,16 @@ class RecoveryManager:
         #: slots the network spent paused in re-formation procedures —
         #: the unavailability the mobility experiments report
         self.total_rebuild_time = 0.0
+        #: adaptive SAT timers (RFC 6298 estimation; off by default so the
+        #: paper's fixed Theorem-1 timer — and every existing trace — is
+        #: untouched).  Estimator state survives cut-outs and rebuilds;
+        #: only estimators of stations that left the ring are pruned.
+        self.adaptive = bool(getattr(net, "adaptive_timers", False))
+        self.estimators: Dict[int, RttEstimator] = {}
+        self._last_armed: Dict[int, float] = {}
+        #: SAT_REC launches whose watched-for SAT was demonstrably alive
+        #: (counted in both modes; the FalseSatRec event is adaptive-only)
+        self.false_triggers = 0
         net.events.add_binder(self._bind_emitters)
 
     def _bind_emitters(self) -> None:
@@ -102,6 +113,8 @@ class RecoveryManager:
         self._ev_down = em(_ev.RingDown)
         self._ev_episode = em(_ev.RecoveryEpisode)
         self._ev_lost = em(_ev.PacketLost)
+        self._ev_adapted = em(_ev.TimerAdapted)
+        self._ev_false_rec = em(_ev.FalseSatRec)
 
     # ------------------------------------------------------------------
     # timers
@@ -119,11 +132,41 @@ class RecoveryManager:
                           name=f"SAT_TIMER_{sid}")
             self.timers[sid] = timer
         timer.restart(bound)
+        if self.adaptive:
+            prev = self._last_armed.get(sid)
+            self._last_armed[sid] = bound
+            if prev is not None and bound != prev:
+                est = self.estimators.get(sid)
+                self._ev_adapted(self.net.engine.now, sid, bound,
+                                 est.srtt if est is not None else None,
+                                 est.rttvar if est is not None else None)
+
+    def _bound_for(self, sid: int) -> float:
+        """The duration to arm ``sid``'s SAT_TIMER with right now.
+
+        Fixed mode: always the Theorem-1 bound.  Adaptive mode: the
+        estimator's RFC 6298 timeout, ceilinged at that bound — except
+        while a recovery or rebuild is in progress, where the worst case
+        applies (Karn-consistent: the walk itself must be allowed the
+        full ``SAT_TIME`` the paper grants it).
+        """
+        ceiling = self.net.sat_time_bound()
+        if (not self.adaptive or self.active is not None
+                or self.net.rebuilding_until is not None):
+            return ceiling
+        est = self.estimators.get(sid)
+        if est is None:
+            return ceiling
+        # any rotation may legitimately absorb one RAP join window the
+        # past samples never contained — budget for it additively
+        return est.rto(ceiling,
+                       allowance=float(self.net.config.effective_t_rap()))
 
     def restart_timer(self, sid: int) -> None:
-        timer = self.timers.get(sid)
-        if timer is not None:
-            timer.restart(self.net.sat_time_bound())
+        # arm-if-missing (not restart-if-present): a station that joined
+        # after the last arm_all() must be watched from its first SAT
+        # release, or its predecessor could die undetected
+        self._arm(sid, self._bound_for(sid))
 
     def disarm_all(self) -> None:
         for timer in self.timers.values():
@@ -135,11 +178,42 @@ class RecoveryManager:
             timer = self.timers.pop(removed, None)
             if timer is not None:
                 timer.stop()
+            self.estimators.pop(removed, None)
+            self._last_armed.pop(removed, None)
+        # everyone re-arms at the *fixed* bound for the new membership:
+        # the estimators have not yet seen a rotation of the new regime,
+        # and the first post-change arrival samples it before the first
+        # adaptive re-arm — so surviving estimator state is kept (the
+        # tentpole: no reset to worst case) without ever under-timing
         bound = self.net.sat_time_bound()
         for sid in self.net.order:
             self._arm(sid, bound)
         if arm_new is not None and arm_new not in self.timers:
             self._arm(arm_new, bound)
+
+    def observe_rotation(self, sid: int, rotation: float) -> None:
+        """Feed one measured SAT rotation into ``sid``'s estimator.
+
+        Karn's rule: a sample taken while a recovery episode or a ring
+        rebuild is in progress is excluded — it measures the repair, not
+        the steady-state rotation.  (Samples *spanning* a repair cannot
+        occur at all: cut-outs and rebuilds reset every station's
+        ``last_sat_arrival``, starting a fresh measurement epoch.)
+        """
+        if not self.adaptive:
+            return
+        est = self.estimators.get(sid)
+        if est is None:
+            est = self.estimators[sid] = RttEstimator()
+        if self.active is not None or self.net.rebuilding_until is not None:
+            est.exclude()
+            return
+        est.observe(rotation)
+
+    @property
+    def samples_excluded(self) -> int:
+        """Total Karn-excluded rotation samples across all estimators."""
+        return sum(est.excluded for est in self.estimators.values())
 
     # ------------------------------------------------------------------
     # injection notes (ground truth for the harness's latency metrics)
@@ -190,6 +264,29 @@ class RecoveryManager:
         self.records.append(record)
         self.active = record
         self._ev_timeout(t, sid, presumed)
+
+        # false-trigger audit: if the SAT this timer watches for is
+        # demonstrably alive (in flight or held somewhere) *and* the
+        # presumed-failed predecessor is too, this SAT_REC will cut an
+        # innocent station out.  The launch proceeds — that destructive
+        # cost is exactly what E26 measures — but the episode is tagged
+        # and counted in both modes; the typed event is adaptive-only so
+        # default traces stay byte-identical.  (A live SAT still en route
+        # to a dead station is a *correct* detection, hence the alive
+        # check.)
+        live = self.net.sat
+        if (not net._sat_lost and live.kind == SAT.NORMAL
+                and (live.at_station is not None or live.in_flight)
+                and net.stations[presumed].alive):
+            self.false_triggers += 1
+            record.extra["false_trigger"] = True
+            if self.adaptive:
+                self._ev_false_rec(t, sid, presumed, live.seq)
+        if self.adaptive:
+            est = self.estimators.get(sid)
+            if est is None:
+                est = self.estimators[sid] = RttEstimator()
+            est.on_timeout()
 
         # launch the SAT_REC from the detector
         sat = SAT()
@@ -387,6 +484,13 @@ class RecoveryManager:
             net.stations[sid].last_sat_arrival = None
         net.stations[initiator].on_sat_arrival(t)
         self.timers.clear()
+        self._last_armed.clear()
+        # estimator state *survives* the rebuild (the whole point of the
+        # adaptive mode: no reset to worst case); only the estimators of
+        # stations the new ring left behind are pruned
+        for sid in list(self.estimators):
+            if sid not in net._pos:
+                del self.estimators[sid]
         self.arm_all()
         if self.active is not None:
             self.active.outcome = "rebuild"

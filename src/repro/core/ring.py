@@ -107,7 +107,8 @@ class WRTRingNetwork:
                  codes: Optional[CodeSpace] = None,
                  trace: Optional[TraceRecorder] = None,
                  events: Optional[EventBus] = None,
-                 impairments=None):
+                 impairments=None,
+                 adaptive_timers: bool = False):
         if len(ring_order) < 2:
             raise ValueError("a ring needs at least 2 stations")
         if len(set(ring_order)) != len(ring_order):
@@ -171,6 +172,11 @@ class WRTRingNetwork:
         if events is None and not isinstance(self.trace, NullTraceRecorder):
             self._trace_adapter = TraceAdapter(self.trace).attach(self.events)
         self.events.add_binder(self._bind_emitters)
+
+        #: opt-in RFC 6298 SAT timers (read by RecoveryManager at
+        #: construction and by JoinRequester per request) — must be set
+        #: before the managers are built
+        self.adaptive_timers = bool(adaptive_timers)
 
         # managers (imported lazily to avoid import cycles)
         from repro.core.join import JoinManager
@@ -717,6 +723,7 @@ class WRTRingNetwork:
         rotation = station.on_sat_arrival(t)
         if rotation is not None:
             self.rotation_log.add(holder, rotation)
+            self.recovery.observe_rotation(holder, rotation)
             self._ev_sat_rotation(t, holder, rotation)
         if holder == self.order[0]:
             sat.rounds += 1

@@ -44,6 +44,7 @@ _DIRECT = (
     T.SatRotation, T.SatRelease, T.SatLost, T.SatLinkLoss,
     T.StationKilled, T.LeaveAnnounced, T.StationInserted, T.StationRemoved,
     T.SatTimeout, T.GracefulCutout, T.SatRecFailed, T.SatRecovered,
+    T.TimerAdapted, T.FalseSatRec,
     T.RebuildStart, T.RebuildRetry, T.RebuildDone, T.RingDown,
     T.RapOpen, T.RapRequest,
     T.FrameDropped, T.SatHopLost, T.SatStaleDiscarded,

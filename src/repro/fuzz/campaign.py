@@ -61,13 +61,15 @@ def run_fuzz_campaign(master_seed: int, runs: int,
                       max_slots: int = 1200,
                       shrink: bool = True,
                       chaos: bool = False,
+                      adaptive: bool = False,
                       progress: Optional[Progress] = None) -> FuzzCampaignResult:
     """Run ``runs`` fuzz cases derived from ``master_seed``.
 
     Completed cases already present in ``store`` are skipped (their recorded
     verdict is reused); every fresh failure is shrunk (when ``shrink``) and
     written as a repro bundle under ``out_dir``.  ``chaos`` forces channel
-    impairments into every generated case (soak mode).
+    impairments into every generated case (soak mode); ``adaptive`` forces
+    RFC 6298 SAT timers into every case.
     """
     import time
 
@@ -78,7 +80,7 @@ def run_fuzz_campaign(master_seed: int, runs: int,
 
     for index in range(runs):
         case = generate_case(master_seed, index, max_slots=max_slots,
-                             chaos=chaos)
+                             chaos=chaos, adaptive=adaptive)
         key = _case_key(case)
         cached = store.get(key)
         if cached is not None:

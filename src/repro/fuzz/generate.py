@@ -62,13 +62,16 @@ class FuzzCase:
 
 # ----------------------------------------------------------------------
 def generate_case(master_seed: int, index: int,
-                  max_slots: int = 1200, chaos: bool = False) -> FuzzCase:
+                  max_slots: int = 1200, chaos: bool = False,
+                  adaptive: bool = False) -> FuzzCase:
     """Generate case ``index`` of the campaign seeded by ``master_seed``.
 
     ``max_slots`` caps the simulated horizon (and thus the per-case cost).
     ``chaos`` forces channel impairments on every case (they are otherwise
     drawn ~35% of the time), for soak runs that must exercise recovery
-    continuously.
+    continuously.  ``adaptive`` forces RFC 6298 SAT timers on every case
+    (otherwise drawn on ~20% of cases, ~50% under chaos), for the soak
+    seed dedicated to the adaptive-timer machinery.
     """
     case_seed = RandomStreams(master_seed).derive(f"fuzz.{index}")
     rng = random.Random(case_seed)
@@ -148,8 +151,17 @@ def generate_case(master_seed: int, index: int,
     if chaos or rng.random() < 0.35:
         scenario["impairments"] = _random_impairments(rng)
 
+    drive = _random_drive(rng, horizon)
+    # adaptive SAT timers, drawn *after* every other draw so each
+    # pre-existing (master_seed, index) case keeps its exact historical
+    # scenario and drive plan — an adaptive case differs from its
+    # non-adaptive twin only by this one flag.  The draw is unconditional
+    # (one value consumed either way) to keep the stream aligned.
+    if rng.random() < (0.5 if chaos else 0.2) or adaptive:
+        scenario["adaptive_timers"] = True
+
     return FuzzCase(seed=case_seed, index=index, scenario=scenario,
-                    drive=_random_drive(rng, horizon))
+                    drive=drive)
 
 
 def _random_impairments(rng: random.Random) -> Dict[str, Any]:

@@ -28,8 +28,9 @@ from repro.events.types import GatewayDrop, PacketEnqueued, RingTick
 
 __all__ = ["FuzzFailure", "ClockProbe", "PacketLedger",
            "check_conservation", "check_gateway_conservation",
-           "check_no_undeliverable", "check_refused_calls_silent",
-           "check_rotation_bound", "rotation_bound_applies"]
+           "check_no_undeliverable", "check_no_false_triggers",
+           "check_refused_calls_silent", "check_rotation_bound",
+           "false_trigger_oracle_applies", "rotation_bound_applies"]
 
 _EPS = 1e-9
 
@@ -292,6 +293,45 @@ def rotation_bound_applies(net, scenario_dict: Dict[str, Any]) -> bool:
             and net.recovery.ring_rebuilds == 0
             and net.trace.count("sat.lost") == 0
             and not net.network_down)
+
+
+def false_trigger_oracle_applies(scenario_dict: Dict[str, Any]) -> bool:
+    """The zero-false-trigger guarantee is judged only where it is promised:
+    adaptive timers on, and nothing that can *legitimately* trigger recovery
+    — no destructive faults, no mobility breaking links, no stochastic frame
+    loss.  Joins stay in scope deliberately: the estimator's RAP allowance
+    must absorb a join window without firing."""
+    if not scenario_dict.get("adaptive_timers"):
+        return False
+    for event in scenario_dict.get("faults") or []:
+        if event.get("kind") in ("kill", "leave", "drop_signal", "stale_sat"):
+            return False
+    if scenario_dict.get("mobility"):
+        return False
+    if scenario_dict.get("impairments"):
+        return False
+    return True
+
+
+def check_no_false_triggers(net) -> List[FuzzFailure]:
+    """On applicable runs (clean channel, no destructive faults), adaptive
+    timers must never launch a SAT_REC: a single episode means an estimator
+    under-timed a legitimate rotation and cut an innocent station out."""
+    rec = net.recovery
+    if rec.false_triggers:
+        return [FuzzFailure(
+            "false_trigger",
+            f"adaptive timers fired {rec.false_triggers} false SAT_REC(s) "
+            f"on a clean channel (no faults, no loss): the RTO under-timed "
+            f"a legitimate rotation")]
+    if rec.records:
+        first = rec.records[0]
+        return [FuzzFailure(
+            "false_trigger",
+            f"adaptive run started {len(rec.records)} recovery episode(s) "
+            f"on a clean channel with no destructive faults (first: "
+            f"kind={first.kind} detected at t={first.t_detected})")]
+    return []
 
 
 def check_rotation_bound(result) -> List[FuzzFailure]:

@@ -25,9 +25,12 @@ from repro.config_io import scenario_from_dict
 from repro.core.invariants import InvariantViolation
 from repro.fuzz.generate import FuzzCase
 from repro.fuzz.oracles import (ClockProbe, FuzzFailure, PacketLedger,
-                                check_conservation, check_no_undeliverable,
+                                check_conservation, check_no_false_triggers,
+                                check_no_undeliverable,
                                 check_refused_calls_silent,
-                                check_rotation_bound, rotation_bound_applies)
+                                check_rotation_bound,
+                                false_trigger_oracle_applies,
+                                rotation_bound_applies)
 from repro.scenarios import ScenarioResult, build_scenario
 
 __all__ = ["FuzzResult", "run_case", "hash_trace"]
@@ -114,6 +117,8 @@ def run_case(case: FuzzCase) -> FuzzResult:
                                                        ledger))
         if rotation_bound_applies(net, case.scenario):
             failures.extend(check_rotation_bound(built))
+        if false_trigger_oracle_applies(case.scenario):
+            failures.extend(check_no_false_triggers(net))
 
     metrics = net.metrics
     stats = {
@@ -129,6 +134,11 @@ def run_case(case: FuzzCase) -> FuzzResult:
     }
     if net.impairments is not None:
         stats["impairment_drops"] = net.impairments.drops
+    if case.scenario.get("adaptive_timers"):
+        # emitted only for adaptive cases so every pre-existing corpus
+        # bundle's pinned record keeps its exact historical shape
+        stats["false_sat_recs"] = net.recovery.false_triggers
+        stats["timer_samples_excluded"] = net.recovery.samples_excluded
     if built.sessions is not None:
         counts = built.sessions.counts()
         stats["calls_admitted"] = (counts["active"] + counts["ended"]

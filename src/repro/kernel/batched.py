@@ -83,6 +83,11 @@ class BatchedKernel:
         self.sat_windows = 0
         self.sat_slots = 0
         self._dataplane_private = False
+        #: adaptive SAT timers change state on every hop (estimator samples,
+        #: re-armed deadlines), so skipped hops must always be replayed
+        #: through the real ``_sat_step`` and the saturated analytic path —
+        #: whose inline sends run *ahead* of engine time — stays off
+        self._adaptive = bool(getattr(net, "adaptive_timers", False))
         net.tick_driver = self._drive
         bus = net.events
         bus.subscribe(PacketEnqueued, self._on_packet_in)
@@ -213,8 +218,11 @@ class BatchedKernel:
 
         if K == 0:
             return t_stop + 1.0
-        if (net._ev_sat_release or net._ev_sat_rotation
+        if (self._adaptive or net._ev_sat_release or net._ev_sat_rotation
                 or net._ev_sat_arrive):
+            # adaptive mode always replays: each hop feeds the rotation
+            # estimator and may re-arm a SAT_TIMER at a new deadline, and
+            # both must happen at the real hop time for scalar parity
             return self._replay_hops(a0, h, K, t_stop)
         self._bulk_hops(a0, h, K)
         return t_stop + 1.0
@@ -229,6 +237,16 @@ class BatchedKernel:
         sat = net.sat
         for j in range(K):
             tau = a0 + j * h
+            if self._adaptive:
+                # a previous hop's adaptive re-arm may have moved a
+                # SAT_TIMER deadline inside the window (the rto floor at
+                # max_sample + G makes that unreachable in a quiescent
+                # ring, but the guard keeps safety structural): hand
+                # control back so the engine fires it on schedule.
+                # ``<=`` because timers (priority 0) beat ticks (5).
+                pending = eng.peek()
+                if pending is not None and pending <= tau:
+                    return math.floor(eng.now) + 1.0
             eng.advance_to(tau)
             net._sat_step(tau)
             if (self.buffered or eng.stopped or net._sat_lost
@@ -309,6 +327,13 @@ class BatchedKernel:
         perturb individual slots.  Cheapest checks first; the per-station
         scan runs only when everything else already passed."""
         net = self.net
+        if self._adaptive:
+            # the saturated walk applies sends inline *ahead* of engine
+            # time; a mid-window bail back to scalar ticking would replay
+            # them.  Sound only because non-adaptive SAT steps cannot move
+            # timer deadlines into the window — adaptive ones can, so the
+            # regime runs slot-by-slot (still byte-identical, just slower)
+            return False
         if self.buffered <= 0 or not self._dataplane_private:
             return False
         if net._tick_hooks or net._ev_tick or net._ev_occupancy:

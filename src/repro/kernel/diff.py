@@ -259,5 +259,25 @@ def seeded_grid() -> List[Scenario]:
                                                   station=77,
                                                   params={"after": 2})]),
                  horizon=900, seed=25),
+        # adaptive timers over sparse Poisson: long quiescent stretches
+        # where every replayed hop feeds the estimator and re-arms the
+        # watchdogs at adaptive deadlines (the deferred-maintenance path)
+        Scenario(n=8, adaptive_timers=True,
+                 traffic=TrafficMix(kind="poisson", rate=0.01),
+                 horizon=3000, seed=26),
+        # adaptive timers + scripted kill: expiry-driven SAT_REC with
+        # backoff, Karn exclusion during the walk, estimator state kept
+        # across the cut-out
+        Scenario(n=8, adaptive_timers=True,
+                 traffic=TrafficMix(kind="poisson", rate=0.02),
+                 faults=FaultSchedule([FaultEvent(time=700.0, kind="kill",
+                                                  station=3)]),
+                 horizon=2500, seed=27),
+        # adaptive timers in the saturated regime: the analytic window is
+        # gated off, so the drain must replay slot-by-slot and still match
+        Scenario(n=6, l=2, k=1, adaptive_timers=True,
+                 traffic=TrafficMix(kind="prefill", burst=60,
+                                    neighbours_only=True),
+                 horizon=900, seed=28),
     ])
     return grid

@@ -35,7 +35,8 @@ class NetworkMetricsSubscriber:
     ``sat.releases``, ``sat.holds``, ``recovery.episodes``,
     ``recovery.rebuilds``, plus the impairment/robustness family:
     ``phy.drops`` (labeled kind/reason), ``phy.link_drops`` (labeled per
-    link), ``sat.hop_lost``, ``sat.stale_discarded`` and ``fault.skipped``,
+    link), ``sat.hop_lost``, ``sat.stale_discarded``, ``timer.adapted``,
+    ``sat.false_recs`` and ``fault.skipped``,
     plus the bridge family: ``gw.forwards`` (labeled direction) and
     ``gw.drops`` (labeled reason).
     Histograms: ``sat.rotation_slots``, ``recovery.delay_slots``.  Gauges
@@ -73,6 +74,8 @@ class NetworkMetricsSubscriber:
         self._link_drops = {}
         self._sat_hop_lost = {}
         self._sat_stale = None
+        self._timer_adapted = None
+        self._false_rec = None
         self._fault_skipped = {}
         self._gw_forwards = {}
         self._gw_drops = {}
@@ -95,6 +98,8 @@ class NetworkMetricsSubscriber:
         sub(_ev.FrameDropped, self._on_frame_dropped)
         sub(_ev.SatHopLost, self._on_sat_hop_lost)
         sub(_ev.SatStaleDiscarded, self._on_sat_stale)
+        sub(_ev.TimerAdapted, self._on_timer_adapted)
+        sub(_ev.FalseSatRec, self._on_false_rec)
         sub(_ev.FaultSkipped, self._on_fault_skipped)
         sub(_ev.GatewayForward, self._on_gw_forward)
         sub(_ev.GatewayDrop, self._on_gw_drop)
@@ -139,6 +144,16 @@ class NetworkMetricsSubscriber:
         if self._sat_stale is None:
             self._sat_stale = self.registry.counter("sat.stale_discarded")
         self._sat_stale.inc()
+
+    def _on_timer_adapted(self, ev) -> None:
+        if self._timer_adapted is None:
+            self._timer_adapted = self.registry.counter("timer.adapted")
+        self._timer_adapted.inc()
+
+    def _on_false_rec(self, ev) -> None:
+        if self._false_rec is None:
+            self._false_rec = self.registry.counter("sat.false_recs")
+        self._false_rec.inc()
 
     def _on_fault_skipped(self, ev) -> None:
         counter = self._fault_skipped.get(ev.kind)

@@ -216,6 +216,24 @@ def bench_fabric_tick_rate(quick: bool = False) -> float:
     return horizon / (time.perf_counter() - start)
 
 
+def bench_adaptive_recovery_rate(quick: bool = False) -> float:
+    """Slots/sec with adaptive timers active on a lossy channel: the
+    recovery hot path (per-rotation estimator updates, adaptive re-arms,
+    expiry-driven SAT_REC walks) that the fixed-timer benches never touch."""
+    from repro.phy.impairments import ImpairmentSpec
+    from repro.scenarios import Scenario, TrafficMix, build_scenario
+
+    horizon = 1500.0 if quick else 6000.0
+    scenario = Scenario(n=8, adaptive_timers=True, horizon=horizon, seed=2,
+                        traffic=TrafficMix(kind="poisson", rate=0.05),
+                        impairments=ImpairmentSpec(loss_prob=0.01))
+    built = build_scenario(scenario)
+    engine = built.engine
+    start = time.perf_counter()
+    engine.run(until=horizon)
+    return horizon / (time.perf_counter() - start)
+
+
 SUITE: Dict[str, Callable[[bool], float]] = {
     "kernel_step_rate": bench_kernel_step_rate,
     "ring_tick_rate": bench_ring_tick_rate,
@@ -225,6 +243,7 @@ SUITE: Dict[str, Callable[[bool], float]] = {
     "fuzz_case_rate": bench_fuzz_case_rate,
     "fabric_tick_rate": bench_fabric_tick_rate,
     "qoe_score_rate": bench_qoe_score_rate,
+    "adaptive_recovery_rate": bench_adaptive_recovery_rate,
 }
 
 

@@ -138,6 +138,11 @@ class Scenario:
     #: "batched" (repro.kernel: inline slot batching + analytic fast-forward,
     #: byte-identical outputs enforced by the kernel-parity harness)
     kernel: str = "scalar"
+    #: opt-in RFC 6298 SAT timers (repro.core.adaptive): per-station
+    #: SRTT/RTTVAR estimation over observed rotations with a Theorem-1
+    #: ceiling, plus exponential join-retry backoff.  Off = the paper's
+    #: fixed worst-case timer, byte-identical to every existing trace.
+    adaptive_timers: bool = False
 
     def __post_init__(self) -> None:
         if self.kernel not in ("scalar", "batched"):
@@ -194,6 +199,10 @@ class ScenarioResult:
             out["traffic"]["burst"] = mix.burst
         if scn.calls is not None:
             out["calls"] = scn.calls.to_dict()
+        if scn.adaptive_timers:
+            # emitted only when on, so every existing summary/campaign
+            # record keeps its exact historical shape
+            out["adaptive_timers"] = True
         return out
 
     def summary(self) -> Dict[str, object]:
@@ -234,6 +243,9 @@ class ScenarioResult:
         if net.recovery.records:
             out["recovery_delays"] = [r.total_delay
                                       for r in net.recovery.records]
+        if self.scenario.adaptive_timers:
+            out["false_sat_recs"] = net.recovery.false_triggers
+            out["timer_samples_excluded"] = net.recovery.samples_excluded
         deadlines = net.metrics.deadlines
         if deadlines.total:
             out["deadline_miss_ratio"] = deadlines.miss_ratio
@@ -413,7 +425,8 @@ def build_scenario(scenario: Scenario) -> ScenarioResult:
                                          streams.fork("impairments"))
     net = WRTRingNetwork(engine, ring_order, config, graph=graph_provider,
                          channel=channel, trace=trace,
-                         impairments=impairments)
+                         impairments=impairments,
+                         adaptive_timers=scenario.adaptive_timers)
 
     if mob_spec is not None and mob_spec.wander_radius > 0:
         mob_rng = streams.numpy_stream("mobility")

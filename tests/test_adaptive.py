@@ -1,0 +1,364 @@
+"""Adaptive SAT timers: the RFC 6298 estimator, its safety rails, and the
+plumbing that threads it through recovery, joins, config and the CLI."""
+
+import json
+import random
+
+import pytest
+
+from repro.config_io import scenario_from_dict, scenario_to_dict
+from repro.core import QuotaConfig, WRTRingConfig, WRTRingNetwork
+from repro.core.adaptive import RttEstimator
+from repro.core.join import JoinOutcome, JoinRequester
+from repro.scenarios import Scenario, TrafficMix, run_scenario
+from repro.sim import Engine
+
+
+def make_net(n=6, adaptive=True, **cfg_kwargs):
+    engine = Engine()
+    cfg_kwargs.setdefault("rap_enabled", False)
+    cfg = WRTRingConfig.homogeneous(range(n), l=2, k=1, **cfg_kwargs)
+    net = WRTRingNetwork(engine, list(range(n)), cfg,
+                         adaptive_timers=adaptive)
+    return engine, net
+
+
+# ----------------------------------------------------------------------
+class TestRttEstimator:
+    def test_first_sample_seeds_rfc_state(self):
+        est = RttEstimator()
+        est.observe(10.0)
+        assert est.srtt == 10.0
+        assert est.rttvar == 5.0
+        assert est.samples == 1
+
+    def test_smoothing_uses_rfc_constants(self):
+        est = RttEstimator()
+        est.observe(10.0)
+        est.observe(18.0)
+        # RTTVAR = 0.75*5 + 0.25*|10-18|, then SRTT = 0.875*10 + 0.125*18
+        assert est.rttvar == pytest.approx(0.75 * 5.0 + 0.25 * 8.0)
+        assert est.srtt == pytest.approx(0.875 * 10.0 + 0.125 * 18.0)
+
+    def test_rejects_nonpositive_samples(self):
+        est = RttEstimator()
+        with pytest.raises(ValueError):
+            est.observe(0.0)
+        with pytest.raises(ValueError):
+            est.observe(-3.0)
+
+    def test_no_samples_returns_ceiling(self):
+        est = RttEstimator()
+        assert est.rto(123.0) == 123.0
+        assert est.rto(123.0, allowance=50.0) == 123.0
+
+    def test_ceiling_never_exceeded(self):
+        est = RttEstimator()
+        est.observe(100.0)
+        for _ in range(5):
+            est.on_timeout()
+        assert est.rto(40.0) == 40.0
+        assert est.rto(40.0, allowance=1000.0) == 40.0
+
+    def test_floor_at_observed_max(self):
+        est = RttEstimator()
+        # converge on small rotations, then one large sample: the timeout
+        # may never fall below a rotation that demonstrably happened
+        est.observe(60.0)
+        for _ in range(200):
+            est.observe(8.0)
+        assert est.max_sample == 60.0
+        assert est.rto(1000.0) >= 60.0 + est.G
+
+    def test_variance_floor_keeps_burst_headroom(self):
+        est = RttEstimator()
+        # long convergence on a constant rotation drives RTTVAR to ~0;
+        # the deviation floor at SRTT keeps rto >= SAFETY * 2 * SRTT so a
+        # legitimate load burst stretching one rotation is not a failure
+        for _ in range(500):
+            est.observe(10.0)
+        assert est.rttvar < 0.1
+        assert est.rto(1000.0) >= est.SAFETY * 2.0 * est.srtt
+
+    def test_allowance_is_additive(self):
+        est = RttEstimator()
+        for _ in range(50):
+            est.observe(10.0)
+        base = est.rto(1000.0)
+        assert est.rto(1000.0, allowance=15.0) == pytest.approx(base + 15.0)
+
+    def test_backoff_doubles_and_caps(self):
+        est = RttEstimator()
+        est.observe(10.0)
+        base = est.rto(1000.0)
+        est.on_timeout()
+        assert est.rto(1000.0) == pytest.approx(2.0 * base)
+        for _ in range(20):
+            est.on_timeout()
+        assert est.backoff == est.MAX_BACKOFF
+
+    def test_valid_sample_resets_backoff(self):
+        est = RttEstimator()
+        est.observe(10.0)
+        est.on_timeout()
+        est.on_timeout()
+        assert est.backoff == 4.0
+        est.observe(11.0)
+        assert est.backoff == 1.0
+
+    def test_exclude_counts_without_touching_estimate(self):
+        est = RttEstimator()
+        est.observe(10.0)
+        srtt, rttvar = est.srtt, est.rttvar
+        est.exclude()
+        est.exclude()
+        assert est.excluded == 2
+        assert (est.srtt, est.rttvar) == (srtt, rttvar)
+
+
+# ----------------------------------------------------------------------
+class TestRecoveryIntegration:
+    def test_adaptive_arms_below_ceiling_after_convergence(self):
+        engine, net = make_net(8)
+        net.start()
+        engine.run(until=500)
+        bound = net.sat_time_bound()
+        rec = net.recovery
+        assert rec.adaptive
+        assert rec.estimators  # rotations were sampled
+        armed = {sid: rec._last_armed[sid] for sid in net.order}
+        assert all(v <= bound for v in armed.values())
+        assert any(v < bound for v in armed.values()), \
+            "estimator never tightened any timer below the Theorem-1 bound"
+
+    def test_fixed_mode_untouched(self):
+        engine, net = make_net(8, adaptive=False)
+        net.start()
+        engine.run(until=500)
+        assert not net.recovery.adaptive
+        assert not net.recovery.estimators
+
+    def test_no_false_triggers_on_clean_ring(self):
+        engine, net = make_net(8)
+        net.start()
+        engine.run(until=5000)
+        assert net.recovery.false_triggers == 0
+        assert not net.recovery.records
+
+    def test_estimator_state_survives_cutout(self):
+        engine, net = make_net(7)
+        net.start()
+        engine.run(until=200)
+        rec = net.recovery
+        survivor = 0
+        samples_before = rec.estimators[survivor].samples
+        assert samples_before > 0
+        net.kill_station(3)
+        engine.run(until=600)
+        assert 3 not in net.members
+        assert 3 not in rec.estimators, "dead station's estimator not pruned"
+        # the tentpole: surviving estimators are NOT reset to worst case
+        assert rec.estimators[survivor].samples > samples_before
+
+    def test_recovery_walk_arms_at_ceiling(self):
+        """While an episode is active the fixed bound applies (the SAT_REC
+        walk gets the full SAT_TIME the paper grants it)."""
+        engine, net = make_net(6)
+        net.start()
+        engine.run(until=300)
+        rec = net.recovery
+        assert rec._bound_for(0) < net.sat_time_bound()
+        rec.active = rec.records_sentinel = object.__new__(
+            __import__("repro.core.recovery", fromlist=["RecoveryRecord"])
+            .RecoveryRecord)
+        assert rec._bound_for(0) == net.sat_time_bound()
+        rec.active = None
+
+    def test_restart_timer_arms_missing_timer(self):
+        """Regression: restart_timer on a station with no timer yet (e.g.
+        just joined) must arm one, not silently no-op."""
+        engine, net = make_net(6, adaptive=False)
+        net.start()
+        engine.run(until=50)
+        rec = net.recovery
+        timer = rec.timers.pop(2)
+        timer.stop()
+        rec.restart_timer(2)
+        assert 2 in rec.timers
+        assert rec.timers[2].deadline is not None
+
+    def test_adapted_events_traced(self):
+        scn = Scenario(n=8, adaptive_timers=True, horizon=600, seed=4,
+                       traffic=TrafficMix(kind="poisson", rate=0.05))
+        result = run_scenario(scn)
+        assert result.trace.count("timer.adapted") > 0
+        # and the summary carries the adaptive observables
+        summary = result.summary()
+        assert summary["false_sat_recs"] == 0
+        assert "timer_samples_excluded" in summary
+
+    def test_default_summary_shape_unchanged(self):
+        scn = Scenario(n=8, horizon=600, seed=4,
+                       traffic=TrafficMix(kind="poisson", rate=0.05))
+        summary = run_scenario(scn).summary()
+        assert "false_sat_recs" not in summary
+        assert "timer_samples_excluded" not in summary
+
+
+# ----------------------------------------------------------------------
+class TestJoinBackoff:
+    def test_window_sequence_is_capped_exponential(self):
+        est = RttEstimator()
+        windows = []
+        for _ in range(6):
+            est.on_timeout()
+            windows.append(min(int(est.backoff) // 2,
+                               JoinRequester.BACKOFF_CAP))
+        assert windows == [1, 2, 4, 8, 8, 8]
+
+    def _lossy_ack_scenario(self, adaptive, max_attempts):
+        import numpy as np
+
+        from repro.core.join import JoinRequest
+        from repro.phy import ConnectivityGraph, SlottedChannel, ring_placement
+
+        n = 6
+        pos = ring_placement(n, radius=30.0)
+        pos = np.vstack([pos, [[0.0, 0.0]]])   # requester at the centre
+        ids = list(range(n)) + [100]
+        graph = ConnectivityGraph(pos, radio_range=100.0, node_ids=ids)
+        engine = Engine()
+        cfg = WRTRingConfig.homogeneous(range(n), l=2, k=1, rap_enabled=True,
+                                        t_ear=6, t_update=3)
+        channel = SlottedChannel(graph)
+        net = WRTRingNetwork(engine, list(range(n)), cfg, graph=graph,
+                             channel=channel, adaptive_timers=adaptive)
+        req = JoinRequester(net, 100, QuotaConfig.two_class(1, 1),
+                            max_attempts=max_attempts)
+        # swallow every JOIN_REQ on the channel: the ingress never hears
+        # it, no ACK ever comes, and every attempt times out
+        orig = channel.transmit
+
+        def drop_join_reqs(frame):
+            if isinstance(frame.payload, JoinRequest):
+                return
+            orig(frame)
+
+        channel.transmit = drop_join_reqs
+        return engine, net, req
+
+    @pytest.mark.parametrize("adaptive", [False, True])
+    def test_gave_up_fires_after_max_attempts(self, adaptive):
+        engine, net, req = self._lossy_ack_scenario(adaptive, max_attempts=3)
+        net.start()
+        engine.run(until=6000)
+        assert req.state is JoinOutcome.GAVE_UP
+        assert req.attempts == 3
+
+    def test_adaptive_give_up_deadline_bounded(self):
+        """The backoff cap bounds the give-up deadline: with rng=None the
+        skip windows are exactly min(2**(k-1), CAP), so GAVE_UP must land
+        within a computable number of RAP openings (uncapped exponential
+        windows would blow well past it)."""
+        attempts = 6
+        engine, net, req = self._lossy_ack_scenario(True,
+                                                    max_attempts=attempts)
+        net.start()
+        while engine.now < 40_000 and req.state is not JoinOutcome.GAVE_UP:
+            engine.run(until=engine.now + 10)
+        assert req.state is JoinOutcome.GAVE_UP
+        assert req.attempts == attempts
+        n = 6
+        warmup = n + 2                      # hearing a full NEXT_FREE cycle
+        skips = sum(min(2 ** (k - 1), JoinRequester.BACKOFF_CAP)
+                    for k in range(1, attempts))
+        in_flight_slack = attempts + 6      # raps opened while awaiting acks
+        budget = warmup + attempts + skips + in_flight_slack
+        assert net.join_manager.raps_opened <= budget, \
+            (net.join_manager.raps_opened, budget)
+
+    def test_adaptive_join_still_succeeds_on_clean_channel(self):
+        import numpy as np
+
+        from repro.phy import ConnectivityGraph, SlottedChannel, ring_placement
+
+        n = 6
+        pos = ring_placement(n, radius=30.0)
+        pos = np.vstack([pos, [[0.0, 0.0]]])
+        ids = list(range(n)) + [100]
+        graph = ConnectivityGraph(pos, radio_range=100.0, node_ids=ids)
+        engine = Engine()
+        cfg = WRTRingConfig.homogeneous(range(n), l=2, k=1, rap_enabled=True,
+                                        t_ear=6, t_update=3)
+        net = WRTRingNetwork(engine, list(range(n)), cfg, graph=graph,
+                             channel=SlottedChannel(graph),
+                             adaptive_timers=True)
+        req = JoinRequester(net, 100, QuotaConfig.two_class(1, 1),
+                            rng=random.Random(0))
+        net.start()
+        engine.run(until=4000)
+        assert req.state is JoinOutcome.JOINED
+        # the new member is watched: its timer was armed on first contact
+        assert 100 in net.recovery.timers
+
+
+# ----------------------------------------------------------------------
+class TestConfigAndCli:
+    def test_scenario_roundtrip(self):
+        scn = Scenario(n=6, adaptive_timers=True, horizon=500, seed=1)
+        data = json.loads(json.dumps(scenario_to_dict(scn)))
+        assert data["adaptive_timers"] is True
+        assert scenario_from_dict(data).adaptive_timers is True
+
+    def test_default_dict_shape_unchanged(self):
+        scn = Scenario(n=6, horizon=500, seed=1)
+        assert "adaptive_timers" not in scenario_to_dict(scn)
+        assert scenario_from_dict(scenario_to_dict(scn)).adaptive_timers \
+            is False
+
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        rc = main(["simulate", "--n", "6", "--horizon", "300",
+                   "--adaptive-timers", "--json"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["false_sat_recs"] == 0
+
+    def test_sweep_axis(self):
+        from repro.campaign.sweep import Sweep
+        sweep = Sweep(base=Scenario(n=6, horizon=400, seed=2),
+                      axes={"adaptive_timers": [False, True]}, seed=9)
+        points = sweep.expand()
+        flags = [pt.scenario().adaptive_timers for pt in points]
+        assert flags == [False, True]
+
+    def test_fabric_base_carries_flag(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.fabric import (FabricRunner, Topology, topology_from_dict,
+                                  topology_to_dict)
+        topo = Topology(rings=2, ring_size=6, layout="chain", cross_flows=1,
+                        horizon=300.0, seed=3)
+        topo = dc_replace(topo, base=dc_replace(topo.base,
+                                                adaptive_timers=True))
+        data = topology_to_dict(topo)
+        assert data["adaptive_timers"] is True
+        assert topology_from_dict(data).base.adaptive_timers is True
+        # and the shards actually run with adaptive recovery managers
+        with FabricRunner(topo, mode="serial", trace=False) as runner:
+            runner.run()
+            for shard in runner._shards:
+                assert shard.net.recovery.adaptive
+
+    def test_fuzz_adaptive_flag_forces_cases(self):
+        from repro.fuzz.generate import generate_case
+        plain = generate_case(42, 0)
+        forced = generate_case(42, 0, adaptive=True)
+        assert forced.scenario.get("adaptive_timers") is True
+        # forcing the flag changes nothing else about the case
+        stripped = dict(forced.scenario)
+        stripped.pop("adaptive_timers")
+        plain_s = dict(plain.scenario)
+        plain_s.pop("adaptive_timers", None)
+        assert stripped == plain_s
+        assert forced.drive == plain.drive

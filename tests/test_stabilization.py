@@ -1,0 +1,211 @@
+"""Self-stabilization from worst-case initial states.
+
+A self-stabilizing protocol converges to legitimate operation from *any*
+starting configuration within a bounded number of steps and stays there.
+These batteries place the ring in three adversarial states the normal
+schedule never produces — every SAT_TIMER forced to the brink of expiry,
+a verbatim stale-SAT replay, and half the membership dead at one instant
+— and assert convergence within a bound *computed from the protocol's own
+constants* (never an eyeballed sleep), followed by a long quiet window
+with zero further recovery activity.  The strict
+:class:`~repro.core.invariants.RingInvariantChecker` rides along
+throughout: even mid-convergence, the structural invariants must hold on
+every tick.
+
+Each battery runs with fixed Theorem-1 timers and with the adaptive
+RFC 6298 estimator (``adaptive_timers=True``) — stabilization is a
+property of the recovery machinery, not of any one timer policy.
+"""
+
+import pytest
+
+from repro.core import WRTRingConfig, WRTRingNetwork
+from repro.core.invariants import RingInvariantChecker
+from repro.sim import Engine
+
+
+def make_net(n=6, adaptive=False, **cfg_kwargs):
+    engine = Engine()
+    cfg_kwargs.setdefault("rap_enabled", False)
+    cfg = WRTRingConfig.homogeneous(range(n), l=2, k=1, **cfg_kwargs)
+    net = WRTRingNetwork(engine, list(range(n)), cfg,
+                         adaptive_timers=adaptive)
+    checker = RingInvariantChecker(net, strict=True).attach(net.events)
+    return engine, net, checker
+
+
+def settle(engine, net, until):
+    """Run to `until`; convergence means every episode closed, the ring up."""
+    engine.run(until=until)
+    assert not net.network_down
+    assert net.recovery.active is None
+    for rec in net.recovery.records:
+        assert rec.t_completed is not None, rec
+        assert rec.outcome in ("cutout", "rebuild"), rec
+
+
+def assert_quiet(engine, net, window):
+    """A converged ring stays converged: no new episodes in `window`."""
+    episodes = len(net.recovery.records)
+    rebuilds = net.recovery.ring_rebuilds
+    engine.run(until=engine.now + window)
+    assert len(net.recovery.records) == episodes, \
+        "new recovery episodes after convergence"
+    assert net.recovery.ring_rebuilds == rebuilds
+    assert not net.network_down
+
+
+@pytest.mark.parametrize("adaptive", [False, True],
+                         ids=["fixed", "adaptive"])
+class TestTimersNearExpiry:
+    """Worst case 1: every SAT_TIMER about to fire on a healthy ring.
+
+    The first expiry launches a SAT_REC against a live predecessor — a
+    false trigger that cuts an innocent station out.  Every other timer
+    must stand down (an episode is active), the episode must complete
+    within SAT_TIME, and afterwards the ring runs quietly with n-1
+    members.  Destructive, bounded, and then stable — exactly the
+    stabilization contract.
+    """
+
+    def test_converges_within_computed_bound(self, adaptive):
+        engine, net, checker = make_net(n=6, adaptive=adaptive)
+        net.start()
+        engine.run(until=200)
+        t0 = engine.now
+        rec = net.recovery
+        assert not rec.records
+
+        # adversarial state: all timers a few slots from expiry, staggered
+        # so exactly one fires first
+        eps_max = 0.0
+        for i, sid in enumerate(net.order):
+            eps = 2.0 + 3.0 * i
+            eps_max = max(eps_max, eps)
+            rec.timers[sid].restart(eps)
+
+        # bound: last forced expiry + one full SAT_REC walk (the Sec. 2.5
+        # guarantee: the walk returns within SAT_TIME) + one ring latency
+        # for the ring to re-close, with a one-rotation slack
+        bound = t0 + eps_max + net.sat_time_bound() + 2 * net.ring_latency()
+        settle(engine, net, until=bound)
+
+        assert len(rec.records) == 1
+        episode = rec.records[0]
+        assert episode.extra.get("false_trigger")
+        assert rec.false_triggers == 1
+        # the innocent predecessor of the first detector was cut out
+        assert len(net.members) == 5
+        assert episode.failed_station not in net.members
+
+        assert_quiet(engine, net, window=3 * net.sat_time_bound())
+        assert rec.false_triggers == 1
+        assert checker.checks_run > 0 and not checker.violations
+
+    def test_single_timer_near_expiry_no_cascade(self, adaptive):
+        """One rogue timer costs exactly one station — the other timers'
+        stand-down must prevent a cascade of mutual accusations."""
+        engine, net, checker = make_net(n=8, adaptive=adaptive)
+        net.start()
+        engine.run(until=300)
+        rec = net.recovery
+        rec.timers[net.order[2]].restart(1.0)
+        bound = engine.now + 1.0 + net.sat_time_bound() \
+            + 2 * net.ring_latency()
+        settle(engine, net, until=bound)
+        assert len(rec.records) == 1
+        assert len(net.members) == 7
+        assert_quiet(engine, net, window=3 * net.sat_time_bound())
+        assert not checker.violations
+
+
+@pytest.mark.parametrize("adaptive", [False, True],
+                         ids=["fixed", "adaptive"])
+class TestStaleSatReplay:
+    """Worst case 2: a verbatim replay of the last accepted SAT appears.
+
+    The monotone sequence-number guard must discard it on the spot — no
+    quota renewal, no recovery episode, no rebuild, and the ring's
+    rotation continues as if nothing happened.
+    """
+
+    def test_replay_discarded_without_recovery(self, adaptive):
+        engine, net, checker = make_net(n=6, adaptive=adaptive)
+        net.start()
+        engine.run(until=150)
+        seq_before = net.sat.seq
+
+        assert net.inject_stale_sat() is True        # detected + discarded
+        assert net.inject_stale_sat(at_station=net.order[3]) is True
+
+        settle(engine, net, until=engine.now + 3 * net.sat_time_bound())
+        assert not net.recovery.records
+        assert net.recovery.false_triggers == 0
+        assert net.sat.seq > seq_before              # rotation never stalled
+        assert len(net.members) == 6
+        assert not checker.violations
+
+
+@pytest.mark.parametrize("adaptive", [False, True],
+                         ids=["fixed", "adaptive"])
+class TestHalfRingDead:
+    """Worst case 3: half the membership dies at a single instant.
+
+    Whatever mix of cut-outs and full rebuilds the recovery machinery
+    chooses, the survivors must converge to a working |alive|-ring within
+    a bound assembled from the protocol's own constants, and then run
+    quietly."""
+
+    def test_converges_and_stays_stable(self, adaptive):
+        engine, net, checker = make_net(n=8, adaptive=adaptive)
+        net.start()
+        engine.run(until=300)
+        t0 = engine.now
+        dead = [1, 3, 5, 7]
+        for sid in dead:
+            net.kill_station(sid)
+
+        rec = net.recovery
+        cfg = net.config
+        # worst path, assembled from protocol constants: detect each death
+        # at the fixed ceiling, walk a full SAT_REC per death, and allow
+        # every cut-out to escalate into a full (retried) rebuild
+        per_episode = net.sat_time_bound() + net.sat_time_bound()
+        rebuild_budget = (rec.REBUILD_SLOTS_PER_STATION * len(net.order)
+                          * cfg.rebuild_retry_limit)
+        bound = t0 + len(dead) * (per_episode + rebuild_budget) \
+            + 2 * net.ring_latency()
+
+        settle(engine, net, until=bound)
+        assert set(net.members) == {0, 2, 4, 6}
+        assert rec.false_triggers == 0               # every trigger was real
+        assert rec.records                           # something was detected
+
+        # stability: the 4-ring rotates and stays episode-free
+        seq_mark = net.sat.seq
+        assert_quiet(engine, net, window=3 * net.sat_time_bound())
+        assert net.sat.seq > seq_mark
+        assert not checker.violations
+
+    def test_contiguous_block_death(self, adaptive):
+        """Killing a contiguous half leaves the survivors adjacent on one
+        arc — the hardest shape for cut-out chaining."""
+        engine, net, checker = make_net(n=8, adaptive=adaptive)
+        net.start()
+        engine.run(until=300)
+        t0 = engine.now
+        for sid in (2, 3, 4, 5):
+            net.kill_station(sid)
+
+        rec = net.recovery
+        per_episode = 2 * net.sat_time_bound()
+        rebuild_budget = (rec.REBUILD_SLOTS_PER_STATION * len(net.order)
+                          * net.config.rebuild_retry_limit)
+        bound = t0 + 4 * (per_episode + rebuild_budget) \
+            + 2 * net.ring_latency()
+        settle(engine, net, until=bound)
+        assert set(net.members) == {0, 1, 6, 7}
+        assert rec.false_triggers == 0
+
+        assert_quiet(engine, net, window=3 * net.sat_time_bound())
+        assert not checker.violations
